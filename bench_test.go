@@ -1,0 +1,291 @@
+package impressions_test
+
+import (
+	"io"
+	"testing"
+
+	"impressions"
+	"impressions/internal/bench"
+	"impressions/internal/constraint"
+	"impressions/internal/content"
+	"impressions/internal/core"
+	"impressions/internal/namespace"
+	"impressions/internal/search"
+	"impressions/internal/stats"
+	"impressions/internal/workload"
+)
+
+// benchOpts runs the paper experiments at reduced (quick) scale so the whole
+// benchmark suite finishes in minutes. benchrunner without -quick runs the
+// full-scale versions.
+func benchOpts() bench.Options {
+	o := bench.DefaultOptions()
+	o.Quick = true
+	o.Trials = 3
+	return o
+}
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper table / figure (see DESIGN.md §3 for the mapping).
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig1FindTreeDepth regenerates Figure 1: find overhead across
+// cached/fragmented/flat/deep configurations.
+func BenchmarkFig1FindTreeDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.NewFig1().Measure(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Relative["Deep Tree"]/res.Relative["Flat Tree"], "deep/flat-ratio")
+	}
+}
+
+// BenchmarkFig2Accuracy regenerates Figure 2: the full set of generated vs
+// desired distribution series.
+func BenchmarkFig2Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.NewFig2().Run(io.Discard, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3MDCC regenerates Table 3: per-parameter MDCC averaged over
+// trials.
+func BenchmarkTable3MDCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.NewTable3().Measure(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].Value, "files-by-size-MDCC")
+	}
+}
+
+// BenchmarkFig3Convergence regenerates Figure 3: constraint-resolution
+// convergence traces and constrained-distribution accuracy.
+func BenchmarkFig3Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.NewFig3().Run(io.Discard, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Constraints regenerates Table 4: constraint-resolution
+// summary across the three targets.
+func BenchmarkTable4Constraints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.NewTable4().Measure(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].SuccessRate, "1.5x-success-rate")
+	}
+}
+
+// BenchmarkFig5Interpolation regenerates Figures 4-5 and Table 5:
+// interpolation and extrapolation of file-size curves.
+func BenchmarkFig5Interpolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.NewFig5().Measure(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].D, "interp-75GB-D")
+	}
+}
+
+// BenchmarkTable6Performance regenerates Table 6: per-phase image creation
+// times (scaled down; benchrunner runs the full-size images).
+func BenchmarkTable6Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cols, _, err := bench.NewTable6().Measure(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cols[0].TotalTime, "image1-total-s")
+	}
+}
+
+// BenchmarkFig6Assumptions regenerates Figure 6: content missed by the
+// engines' documented cutoffs.
+func BenchmarkFig6Assumptions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.NewFig6().Measure(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].ByteFrac, "gdl-200KB-bytes-missed")
+	}
+}
+
+// BenchmarkFig7IndexSize regenerates Figure 7: index size versus content type
+// for both engines.
+func BenchmarkFig7IndexSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.NewFig7().Measure(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8BeagleVariants regenerates Figure 8: Beagle variants across
+// content types.
+func BenchmarkFig8BeagleVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.NewFig8().Measure(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablations from DESIGN.md.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.NewAblation().Run(io.Discard, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the core building blocks.
+// ---------------------------------------------------------------------------
+
+// BenchmarkHybridFileSizeSample measures drawing one file size from the
+// Table 2 hybrid model.
+func BenchmarkHybridFileSizeSample(b *testing.B) {
+	dist := core.DefaultFileSizeDistribution()
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = dist.Sample(rng)
+	}
+}
+
+// BenchmarkNamespaceGeneration measures building a 10,000-directory namespace
+// with the generative model.
+func BenchmarkNamespaceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := stats.NewRNG(int64(i))
+		_ = namespace.GenerateTree(rng, 10000, namespace.ShapeGenerative)
+	}
+}
+
+// BenchmarkFilePlacement measures placing 10,000 files into a generated
+// namespace with the multiplicative depth model.
+func BenchmarkFilePlacement(b *testing.B) {
+	rng := stats.NewRNG(1)
+	tree := namespace.GenerateTree(rng, 2000, namespace.ShapeGenerative)
+	cfg := namespace.PlacerConfig{
+		DepthModel:   stats.NewPoisson(6.49),
+		DirFileModel: stats.NewInversePolynomial(2, 2.36, 4096),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placer := namespace.NewPlacer(tree, cfg, stats.NewRNG(int64(i)))
+		for j := 0; j < 10000; j++ {
+			placer.Place(64 * 1024)
+		}
+	}
+}
+
+// BenchmarkConstraintResolution measures resolving the N/S constraints for
+// 1000 files at the matched target.
+func BenchmarkConstraintResolution(b *testing.B) {
+	dist := stats.NewLognormal(8.16, 2.46)
+	target := 1000 * dist.Mean()
+	for i := 0; i < b.N; i++ {
+		r := constraint.NewResolver(stats.NewRNG(int64(i)))
+		if _, err := r.Resolve(constraint.Problem{N: 1000, TargetSum: target, Dist: dist}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImageGenerationDefault measures the full metadata pipeline for a
+// 5000-file image (no content, no disk).
+func BenchmarkImageGenerationDefault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := impressions.Generate(impressions.Config{NumFiles: 5000, NumDirs: 1000, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContentHybridText measures word-model text generation throughput.
+func BenchmarkContentHybridText(b *testing.B) {
+	gen := content.NewTextGenerator(content.NewHybridModel(0.2))
+	rng := stats.NewRNG(1)
+	const size = 1 << 20
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		var cw content.CountingWriter
+		if err := gen.Generate(&cw, size, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContentBinary measures binary content generation throughput.
+func BenchmarkContentBinary(b *testing.B) {
+	gen := content.BinaryGenerator{}
+	rng := stats.NewRNG(1)
+	const size = 1 << 20
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		var cw content.CountingWriter
+		if err := gen.Generate(&cw, size, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindWorkload measures the simulated find traversal over a
+// 5000-file image.
+func BenchmarkFindWorkload(b *testing.B) {
+	res, err := impressions.Generate(impressions.Config{NumFiles: 5000, NumDirs: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = workload.Find(res.Image, workload.FindConfig{})
+	}
+}
+
+// BenchmarkSearchIndexing measures a Beagle-policy crawl (attribute +
+// content indexing) over a small default image.
+func BenchmarkSearchIndexing(b *testing.B) {
+	res, err := impressions.Generate(impressions.Config{
+		NumFiles: 500, NumDirs: 100, Seed: 1,
+		FileSizeDist: stats.NewLognormal(9.0, 1.5),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	registry := content.NewRegistry(content.KindDefault)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = search.NewEngine(search.BeaglePolicy()).Index(res.Image, registry, 1)
+	}
+}
+
+// BenchmarkLayoutScore measures computing the aggregate layout score of a
+// fragmented simulated disk.
+func BenchmarkLayoutScore(b *testing.B) {
+	res, err := impressions.Generate(impressions.Config{
+		NumFiles: 2000, NumDirs: 400, Seed: 1, LayoutScore: 0.8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Disk.LayoutScore()
+	}
+}

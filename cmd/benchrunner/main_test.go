@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig1", "table3", "fig7", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig1", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Deep Tree") {
+		t.Error("fig1 output missing the Deep Tree row")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("expected error when nothing is requested")
+	}
+}

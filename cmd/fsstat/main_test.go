@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildTree creates a tiny directory tree to scan.
+func buildTree(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "a", "b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]int{
+		"top.txt":      100,
+		"a/photo.jpg":  5000,
+		"a/b/deep.cpp": 250,
+	}
+	for rel, size := range files {
+		if err := os.WriteFile(filepath.Join(root, filepath.FromSlash(rel)), make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestRunText(t *testing.T) {
+	root := buildTree(t)
+	if err := run([]string{root}); err != nil {
+		t.Fatalf("fsstat text: %v", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	root := buildTree(t)
+	if err := run([]string{"-json", "-top", "5", root}); err != nil {
+		t.Fatalf("fsstat json: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("expected usage error with no arguments")
+	}
+	if err := run([]string{"/definitely/not/a/path"}); err == nil {
+		t.Error("expected error for a missing directory")
+	}
+}

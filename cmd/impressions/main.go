@@ -1,0 +1,183 @@
+// Command impressions generates statistically accurate file-system images,
+// the command-line interface to the Impressions framework (§3.1 of the
+// paper). In the automated mode only the desired file-system size (or file
+// count) is needed; the user-specified mode exposes the individual Table 2
+// knobs.
+//
+// Examples:
+//
+//	impressions -size 4.55GB -out /tmp/image
+//	impressions -files 20000 -dirs 4000 -content text-model -out /tmp/image
+//	impressions -size 1GB -layout 0.95 -seed 42 -report report.json -out /tmp/image
+//	impressions -print-defaults
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"impressions/internal/content"
+	"impressions/internal/core"
+	"impressions/internal/fsimage"
+	"impressions/internal/namespace"
+	"impressions/internal/stats"
+)
+
+// userFileSizeDist builds the hybrid file-size model with a user-overridden
+// lognormal body and the default Pareto tail.
+func userFileSizeDist(mu, sigma float64) stats.Distribution {
+	return stats.NewHybrid(
+		stats.NewLognormal(mu, sigma),
+		stats.NewPareto(core.DefaultParetoK, core.DefaultParetoXm),
+		core.DefaultFileSizeBodyWeight,
+	)
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "impressions:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("impressions", flag.ContinueOnError)
+	var (
+		sizeFlag      = fs.String("size", "", "desired file-system size (e.g. 500MB, 4.55GB)")
+		filesFlag     = fs.Int("files", 0, "number of files (derived from -size if omitted)")
+		dirsFlag      = fs.Int("dirs", 0, "number of directories (derived from -files if omitted)")
+		outFlag       = fs.String("out", "", "directory to materialize the image into (omit for a dry run)")
+		seedFlag      = fs.Int64("seed", 0, "random seed (0 = default seed)")
+		contentFlag   = fs.String("content", "default", "content policy: default, text-1word, text-model, image, binary, zero")
+		layoutFlag    = fs.Float64("layout", 1.0, "target on-disk layout score in (0,1]")
+		treeFlag      = fs.String("tree", "generative", "tree shape: generative, flat, deep")
+		specialFlag   = fs.Bool("special-dirs", false, "bias placement towards special directories (Windows, Program Files, web cache)")
+		metadataOnly  = fs.Bool("metadata-only", false, "create files with correct sizes but no content (fast)")
+		reportFlag    = fs.String("report", "", "write the JSON reproducibility report to this file")
+		printDefaults = fs.Bool("print-defaults", false, "print the Table 2 parameter defaults and exit")
+		mu            = fs.Float64("size-mu", 0, "override lognormal mu of the file-size body")
+		sigma         = fs.Float64("size-sigma", 0, "override lognormal sigma of the file-size body")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *printDefaults {
+		printDefaultTable(os.Stdout)
+		return nil
+	}
+
+	cfg := core.Config{
+		Seed:                  *seedFlag,
+		NumFiles:              *filesFlag,
+		NumDirs:               *dirsFlag,
+		ContentKind:           content.Kind(*contentFlag),
+		LayoutScore:           *layoutFlag,
+		UseSpecialDirectories: *specialFlag,
+	}
+	if *sizeFlag != "" {
+		bytes, err := parseSize(*sizeFlag)
+		if err != nil {
+			return err
+		}
+		cfg.FSSizeBytes = bytes
+	}
+	switch strings.ToLower(*treeFlag) {
+	case "flat":
+		cfg.TreeShape = namespace.ShapeFlat
+	case "deep":
+		cfg.TreeShape = namespace.ShapeDeep
+	case "", "generative":
+		cfg.TreeShape = namespace.ShapeGenerative
+	default:
+		return fmt.Errorf("unknown tree shape %q", *treeFlag)
+	}
+	if *mu > 0 || *sigma > 0 {
+		cfg.Mode = core.ModeUserSpecified
+		bodyMu, bodySigma := core.DefaultFileSizeMu, core.DefaultFileSizeSigma
+		if *mu > 0 {
+			bodyMu = *mu
+		}
+		if *sigma > 0 {
+			bodySigma = *sigma
+		}
+		cfg.FileSizeDist = userFileSizeDist(bodyMu, bodySigma)
+	}
+
+	res, err := core.GenerateImage(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Image.Summary())
+	if _, err := res.Report.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+
+	if *outFlag != "" {
+		written, err := res.Image.Materialize(*outFlag, fsimage.MaterializeOptions{
+			Registry:     content.NewRegistry(content.Kind(*contentFlag)),
+			Seed:         res.Image.Spec.Seed,
+			MetadataOnly: *metadataOnly,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("materialized %d bytes under %s\n", written, *outFlag)
+	}
+
+	if *reportFlag != "" {
+		data, err := json.MarshalIndent(&res.Report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportFlag, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote reproducibility report to %s\n", *reportFlag)
+	}
+	return nil
+}
+
+func printDefaultTable(w *os.File) {
+	table := core.DefaultParameterTable()
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, "Impressions default parameters (Table 2):")
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-34s %s\n", k+":", table[k])
+	}
+}
+
+// parseSize parses human-friendly sizes like "500MB", "4.55GB", "1048576".
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := float64(1)
+	for _, suffix := range []struct {
+		text string
+		mult float64
+	}{
+		{"TB", 1 << 40}, {"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10}, {"B", 1},
+	} {
+		if strings.HasSuffix(s, suffix.text) {
+			mult = suffix.mult
+			s = strings.TrimSuffix(s, suffix.text)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("size must be positive")
+	}
+	return int64(v * mult), nil
+}

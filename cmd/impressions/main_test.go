@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"1024":   1024,
+		"512B":   512,
+		"4KB":    4096,
+		"500MB":  500 << 20,
+		"4.5GB":  int64(4.5 * float64(1<<30)),
+		"2TB":    2 << 40,
+		" 1 MB ": 1 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5MB", "0"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRunPrintDefaults(t *testing.T) {
+	if err := run([]string{"-print-defaults"}); err != nil {
+		t.Fatalf("print-defaults: %v", err)
+	}
+}
+
+func TestRunGenerateAndMaterialize(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "image")
+	report := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-files", "80", "-dirs", "20", "-size", "4MB",
+		"-seed", "3", "-metadata-only", "-out", out, "-report", report,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("expected materialized entries under %s (err=%v)", out, err)
+	}
+	if _, err := os.Stat(report); err != nil {
+		t.Errorf("expected report file: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-size", "notasize"}); err == nil {
+		t.Error("expected error for a bad size")
+	}
+	if err := run([]string{"-files", "10", "-tree", "mystery"}); err == nil {
+		t.Error("expected error for an unknown tree shape")
+	}
+}
+
+func TestRunUserSpecifiedSizeModel(t *testing.T) {
+	if err := run([]string{"-files", "50", "-size-mu", "8", "-size-sigma", "1.5"}); err != nil {
+		t.Fatalf("user-specified run: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+// Constrained generation (§3.4 of the paper): the user pins several
+// parameters at once — the number of files, the total used space, and the
+// file-size distribution — and Impressions resolves the (possibly
+// conflicting) constraints while preserving the requested distribution.
+//
+// Run with:
+//
+//	go run ./examples/constrained
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"impressions"
+	"impressions/internal/stats"
+)
+
+func main() {
+	dist := stats.NewLognormal(8.16, 2.46)
+	const numFiles = 1000
+
+	// Ask for a used space 25% above what the distribution would naturally
+	// produce for 1000 files; the constraint resolver oversamples and swaps
+	// file sizes until the sum lands within 5% while a K-S test confirms the
+	// sample still follows the requested lognormal.
+	expected := float64(numFiles) * dist.Mean()
+	target := int64(1.25 * expected)
+
+	cfg := impressions.Config{
+		Mode:         impressions.ModeUserSpecified,
+		NumFiles:     numFiles,
+		NumDirs:      150,
+		FSSizeBytes:  target,
+		FileSizeDist: dist,
+		Seed:         7,
+	}
+	res, err := impressions.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Image.Summary())
+	fmt.Printf("requested sum:   %d bytes (%.2fx the expected sum)\n", target, 1.25)
+	fmt.Printf("achieved sum:    %d bytes\n", res.Image.TotalBytes())
+	fmt.Printf("relative error:  %.2f%% (tolerance 5%%)\n", res.Report.SumError*100)
+	fmt.Printf("oversamples:     %d extra draws\n", res.Report.Oversamples)
+
+	// Confirm the constrained sizes still follow the requested distribution.
+	sizes := make([]float64, 0, res.Image.FileCount())
+	for _, f := range res.Image.Files {
+		sizes = append(sizes, float64(f.Size))
+	}
+	fmt.Printf("sample mean:     %.0f bytes (distribution mean %.0f)\n", stats.Mean(sizes), dist.Mean())
+	fmt.Printf("sample median:   %.0f bytes (distribution median %.0f)\n", stats.Median(sizes), dist.Median())
+}

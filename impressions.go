@@ -1,0 +1,102 @@
+// Package impressions is the public API of the Impressions framework, a
+// reproduction of "Generating Realistic Impressions for File-System
+// Benchmarking" (Agrawal, Arpaci-Dusseau, Arpaci-Dusseau; FAST 2009).
+//
+// Impressions generates statistically accurate file-system images — directory
+// trees, file metadata (sizes, depths, extensions), file content, and on-disk
+// layout — from a set of empirical distributions that the user can override
+// individually. Every image is exactly reproducible from its reported
+// specification (distributions, parameter values, and random seeds).
+//
+// # Quick start
+//
+//	cfg := impressions.Config{FSSizeBytes: 4 << 30} // 4 GB image, defaults otherwise
+//	res, err := impressions.Generate(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Image.Summary())
+//	_, err = res.Image.Materialize("/tmp/image", impressions.MaterializeOptions{})
+//
+// The packages under internal/ contain the statistical machinery
+// (distributions, goodness-of-fit tests, the multiple-constraint resolver,
+// interpolation), the namespace generative model, content generators, the
+// simulated disk, workload and desktop-search simulators, and the experiment
+// harness that regenerates every table and figure of the paper.
+package impressions
+
+import (
+	"impressions/internal/content"
+	"impressions/internal/core"
+	"impressions/internal/dataset"
+	"impressions/internal/fsimage"
+	"impressions/internal/namespace"
+)
+
+// Config is the user-facing configuration for generating one image. It is an
+// alias of the core configuration; see internal/core for field documentation.
+type Config = core.Config
+
+// Result bundles the generated image, the reproducibility report, and the
+// simulated disk (when disk simulation was requested).
+type Result = core.Result
+
+// Image is an in-memory file-system image.
+type Image = fsimage.Image
+
+// Spec records everything needed to reproduce an image.
+type Spec = fsimage.Spec
+
+// Report is the reproducibility and accuracy report produced with each image.
+type Report = fsimage.Report
+
+// MaterializeOptions controls writing an image to a real file system.
+type MaterializeOptions = fsimage.MaterializeOptions
+
+// Accuracy holds per-parameter agreement between a generated image and the
+// desired dataset curves (the Table 3 metrics).
+type Accuracy = core.Accuracy
+
+// Modes of operation (§3.1 of the paper).
+const (
+	ModeAutomated     = core.ModeAutomated
+	ModeUserSpecified = core.ModeUserSpecified
+)
+
+// Content policy kinds.
+const (
+	ContentDefault        = content.KindDefault
+	ContentTextSingleWord = content.KindTextSingleWord
+	ContentTextModel      = content.KindTextModel
+	ContentImage          = content.KindImage
+	ContentBinary         = content.KindBinary
+	ContentZero           = content.KindZero
+)
+
+// Tree shapes.
+const (
+	TreeGenerative = namespace.ShapeGenerative
+	TreeFlat       = namespace.ShapeFlat
+	TreeDeep       = namespace.ShapeDeep
+)
+
+// Generate validates the configuration, fills in Table 2 defaults for any
+// unspecified parameter, and generates an image.
+func Generate(cfg Config) (*Result, error) { return core.GenerateImage(cfg) }
+
+// NewGenerator returns a reusable generator for the configuration. Successive
+// Generate calls with the same configuration produce identical images.
+func NewGenerator(cfg Config) (*core.Generator, error) { return core.NewGenerator(cfg) }
+
+// MeasureAccuracy compares a generated image against the desired curves of
+// the default dataset, returning per-parameter MDCC values (Table 3).
+func MeasureAccuracy(img *Image, useSpecial bool) Accuracy {
+	return core.MeasureAccuracy(img, dataset.Default(), useSpecial)
+}
+
+// ScanDirectory walks a real directory tree and returns it as an Image, so
+// existing file systems can be measured and their distributions compared or
+// fed back into generation.
+func ScanDirectory(root string) (*Image, error) { return fsimage.Scan(root) }
+
+// DefaultParameterTable returns the paper's Table 2 "parameter -> default
+// model" listing.
+func DefaultParameterTable() map[string]string { return core.DefaultParameterTable() }

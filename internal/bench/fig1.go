@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"impressions/internal/core"
+	"impressions/internal/namespace"
+	"impressions/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: the relative time taken by a find traversal on
+// the original generated file system, the same image served from the buffer
+// cache, a fragmented version (layout score 0.95), a flattened directory tree
+// (100 directories at depth 1) and a deepened one (directories nested to
+// depth 100). The paper's headline observation is that tree depth changes
+// find time as much as fragmentation does, with roughly a 3x spread between
+// the flat and deep trees.
+type Fig1 struct{}
+
+// NewFig1 returns the Figure 1 experiment.
+func NewFig1() Fig1 { return Fig1{} }
+
+// Name implements Experiment.
+func (Fig1) Name() string { return "fig1" }
+
+// Title implements Experiment.
+func (Fig1) Title() string {
+	return "Figure 1: impact of directory tree structure on find"
+}
+
+// Fig1Result holds the relative overheads, normalized to the original image.
+type Fig1Result struct {
+	OriginalMs float64
+	Relative   map[string]float64 // configuration -> time / original time
+}
+
+// Run implements Experiment.
+func (f Fig1) Run(w io.Writer, opts Options) error {
+	res, err := f.Measure(opts)
+	if err != nil {
+		return err
+	}
+	order := []string{"Original", "Cached", "Fragmented", "Flat Tree", "Deep Tree"}
+	tb := newTable(w)
+	tb.row("configuration", "relative overhead", "paper (approx)")
+	paper := map[string]string{
+		"Original": "1.00", "Cached": "0.30", "Fragmented": "1.35",
+		"Flat Tree": "0.60", "Deep Tree": "1.90",
+	}
+	for _, name := range order {
+		tb.row(name, fmt.Sprintf("%.2f", res.Relative[name]), paper[name])
+	}
+	tb.flush()
+	fmt.Fprintf(w, "original find time (simulated): %.1f ms\n", res.OriginalMs)
+	return nil
+}
+
+// Measure runs the five configurations and returns their relative overheads.
+func (f Fig1) Measure(opts Options) (Fig1Result, error) {
+	files := 5000
+	if opts.Quick {
+		files = 1200
+	}
+	const dirs = 101 // root + 100 directories, as in the paper's flat/deep setup
+
+	build := func(shape namespace.TreeShape, layout float64) (*core.Result, error) {
+		cfg := core.Config{
+			NumFiles:    files,
+			NumDirs:     dirs,
+			TreeShape:   shape,
+			LayoutScore: layout,
+			Seed:        opts.Seed,
+		}
+		return core.GenerateImage(cfg)
+	}
+
+	original, err := build(namespace.ShapeGenerative, 1.0)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	flat, err := build(namespace.ShapeFlat, 1.0)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	deep, err := build(namespace.ShapeDeep, 1.0)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+
+	origRun := workload.Find(original.Image, workload.FindConfig{})
+	cachedRun := workload.Find(original.Image, workload.FindConfig{Cached: true})
+	fragRun := workload.Find(original.Image, workload.FindConfig{MetadataLayoutScore: 0.95})
+	flatRun := workload.Find(flat.Image, workload.FindConfig{})
+	deepRun := workload.Find(deep.Image, workload.FindConfig{})
+
+	out := Fig1Result{
+		OriginalMs: origRun.TimeMs,
+		Relative: map[string]float64{
+			"Original":   1.0,
+			"Cached":     cachedRun.TimeMs / origRun.TimeMs,
+			"Fragmented": fragRun.TimeMs / origRun.TimeMs,
+			"Flat Tree":  flatRun.TimeMs / origRun.TimeMs,
+			"Deep Tree":  deepRun.TimeMs / origRun.TimeMs,
+		},
+	}
+	return out, nil
+}

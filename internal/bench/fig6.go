@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"impressions/internal/core"
+	"impressions/internal/fsimage"
+	"impressions/internal/search"
+)
+
+// Fig6 reproduces Figure 6 (a table in the paper): the indexing assumptions
+// hard-coded into GDL and Beagle, and how much of a representative
+// file-system image each assumption leaves unindexed — the fraction of files
+// and of bytes beyond each cutoff.
+type Fig6 struct{}
+
+// NewFig6 returns the Figure 6 experiment.
+func NewFig6() Fig6 { return Fig6{} }
+
+// Name implements Experiment.
+func (Fig6) Name() string { return "fig6" }
+
+// Title implements Experiment.
+func (Fig6) Title() string {
+	return "Figure 6: debunking application assumptions (content missed by cutoffs)"
+}
+
+// Fig6Row quantifies one assumption.
+type Fig6Row struct {
+	App        string
+	Assumption string
+	FileFrac   float64 // fraction of the relevant files beyond the cutoff
+	ByteFrac   float64 // fraction of the relevant bytes beyond the cutoff
+	Paper      string
+}
+
+// Run implements Experiment.
+func (f Fig6) Run(w io.Writer, opts Options) error {
+	rows, err := f.Measure(opts)
+	if err != nil {
+		return err
+	}
+	tb := newTable(w)
+	tb.row("app", "parameter & value", "% files beyond", "% bytes beyond", "paper")
+	for _, r := range rows {
+		tb.row(r.App, r.Assumption,
+			fmt.Sprintf("%.1f%%", r.FileFrac*100),
+			fmt.Sprintf("%.1f%%", r.ByteFrac*100),
+			r.Paper)
+	}
+	tb.flush()
+	return nil
+}
+
+// Measure generates a representative image and evaluates each documented
+// cutoff against it.
+func (f Fig6) Measure(opts Options) ([]Fig6Row, error) {
+	files, dirs := 20000, 4000
+	if opts.Quick {
+		files, dirs = 5000, 1000
+	}
+	res, err := core.GenerateImage(core.Config{
+		NumFiles:              files,
+		NumDirs:               dirs,
+		Seed:                  opts.Seed,
+		UseSpecialDirectories: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	img := res.Image
+
+	gdl := search.GDLPolicy()
+	beagle := search.BeaglePolicy()
+
+	rows := []Fig6Row{
+		{
+			App:        "GDL",
+			Assumption: fmt.Sprintf("file content < %d deep", gdl.MaxDepth),
+			Paper:      "10% of files, 5% of bytes",
+		},
+		{
+			App:        "GDL",
+			Assumption: "text file sizes < 200 KB",
+			Paper:      "13% of files, 90% of bytes",
+		},
+		{
+			App:        "Beagle",
+			Assumption: "text file cutoff < 5 MB",
+			Paper:      "0.13% of files, 71% of bytes",
+		},
+		{
+			App:        "Beagle",
+			Assumption: "archive files < 10 MB",
+			Paper:      "4% of files, 84% of bytes",
+		},
+		{
+			App:        "Beagle",
+			Assumption: "shell scripts < 20 KB",
+			Paper:      "20% of files, 89% of bytes",
+		},
+	}
+
+	// GDL depth cutoff applies to all files.
+	rows[0].FileFrac, rows[0].ByteFrac = fractionBeyond(img, func(file fsimage.File) bool { return true },
+		func(file fsimage.File) bool { return file.Depth > gdl.MaxDepth })
+
+	// Text-size cutoffs apply to text files.
+	isText := func(file fsimage.File) bool { return search.Classify(file.Ext) == search.ClassText }
+	rows[1].FileFrac, rows[1].ByteFrac = fractionBeyond(img, isText,
+		func(file fsimage.File) bool { return file.Size > gdl.MaxTextBytes })
+	rows[2].FileFrac, rows[2].ByteFrac = fractionBeyond(img, isText,
+		func(file fsimage.File) bool { return file.Size > beagle.MaxTextBytes })
+
+	// Archive cutoff applies to archive files.
+	isArchive := func(file fsimage.File) bool { return search.Classify(file.Ext) == search.ClassArchive }
+	rows[3].FileFrac, rows[3].ByteFrac = fractionBeyond(img, isArchive,
+		func(file fsimage.File) bool { return file.Size > beagle.MaxArchiveBytes })
+
+	// Script cutoff applies to shell scripts.
+	isScript := func(file fsimage.File) bool { return search.Classify(file.Ext) == search.ClassScript }
+	rows[4].FileFrac, rows[4].ByteFrac = fractionBeyond(img, isScript,
+		func(file fsimage.File) bool { return file.Size > beagle.MaxScriptBytes })
+
+	return rows, nil
+}
+
+// fractionBeyond returns the fraction of files (and of bytes) within the
+// relevant class that fall beyond the cutoff predicate.
+func fractionBeyond(img *fsimage.Image, relevant func(fsimage.File) bool, beyond func(fsimage.File) bool) (fileFrac, byteFrac float64) {
+	var nRelevant, nBeyond int
+	var bRelevant, bBeyond int64
+	for _, file := range img.Files {
+		if !relevant(file) {
+			continue
+		}
+		nRelevant++
+		bRelevant += file.Size
+		if beyond(file) {
+			nBeyond++
+			bBeyond += file.Size
+		}
+	}
+	if nRelevant == 0 {
+		return 0, 0
+	}
+	fileFrac = float64(nBeyond) / float64(nRelevant)
+	if bRelevant > 0 {
+		byteFrac = float64(bBeyond) / float64(bRelevant)
+	}
+	return fileFrac, byteFrac
+}

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"impressions/internal/content"
+	"impressions/internal/core"
+	"impressions/internal/fsimage"
+	"impressions/internal/stats"
+)
+
+// Table6 reproduces Table 6: the time taken to create the two reference
+// file-system images, broken down by generation phase — directory structure,
+// file size resolution, extension assignment, file placement, content
+// generation, and on-disk file/directory creation — plus the extra cost of
+// the hybrid word model and of creating a fragmented (layout score 0.98)
+// image.
+//
+// Image1 is 4.55 GB with 20000 files and 4000 directories; Image2 is 12 GB
+// with 52000 files and 4000 directories (the paper's configurations). In
+// quick mode both are scaled down by 50x so the experiment finishes in
+// seconds; the scale is reported with the results.
+type Table6 struct{}
+
+// NewTable6 returns the Table 6 experiment.
+func NewTable6() Table6 { return Table6{} }
+
+// Name implements Experiment.
+func (Table6) Name() string { return "table6" }
+
+// Title implements Experiment.
+func (Table6) Title() string {
+	return "Table 6: time to create file-system images (per-phase breakdown)"
+}
+
+// Table6Column is the per-phase timing for one image.
+type Table6Column struct {
+	Label       string
+	FSBytes     int64
+	Files       int
+	Dirs        int
+	PhaseTimes  map[string]float64 // seconds
+	TotalTime   float64
+	HybridExtra float64 // extra seconds for hybrid word-model content (Image1 only)
+	LayoutExtra float64 // extra seconds for layout score 0.98 (Image1 only)
+}
+
+// Run implements Experiment.
+func (t6 Table6) Run(w io.Writer, opts Options) error {
+	cols, scale, err := t6.Measure(opts)
+	if err != nil {
+		return err
+	}
+	order := []string{
+		"directory structure",
+		"file sizes distribution",
+		"popular extensions",
+		"file and bytes with depth",
+		"file content (single-word)",
+		"on-disk file/dir creation",
+	}
+	tb := newTable(w)
+	header := []interface{}{"phase (seconds)"}
+	for _, c := range cols {
+		header = append(header, c.Label)
+	}
+	tb.row(header...)
+	for _, phase := range order {
+		cells := []interface{}{phase}
+		for _, c := range cols {
+			cells = append(cells, fmt.Sprintf("%.2f", c.PhaseTimes[phase]))
+		}
+		tb.row(cells...)
+	}
+	totals := []interface{}{"total"}
+	for _, c := range cols {
+		totals = append(totals, fmt.Sprintf("%.2f", c.TotalTime))
+	}
+	tb.row(totals...)
+	tb.flush()
+	fmt.Fprintf(w, "image configurations (scale 1/%d of the paper's): ", scale)
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "; ")
+		}
+		fmt.Fprintf(w, "%s = %s, %d files, %d dirs", c.Label, stats.FormatBytes(float64(c.FSBytes)), c.Files, c.Dirs)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "additional features (Image1 only): file content with hybrid word model +%.2fs; layout score 0.98 +%.2fs\n",
+		cols[0].HybridExtra, cols[0].LayoutExtra)
+	fmt.Fprintln(w, "paper (full scale): Image1 total ~473s (~8 min), Image2 total ~1826s (~30 min), dominated by on-disk creation")
+	return nil
+}
+
+// Measure builds both images, timing each phase.
+func (t6 Table6) Measure(opts Options) ([]Table6Column, int, error) {
+	scale := 1
+	if opts.Quick {
+		scale = 50
+	}
+	configs := []struct {
+		label string
+		bytes int64
+		files int
+		dirs  int
+	}{
+		{"Image1", 4659 << 20 /* 4.55 GB */, 20000, 4000},
+		{"Image2", 12 << 30, 52000, 4000},
+	}
+	var out []Table6Column
+	for _, cfg := range configs {
+		col, err := t6.measureOne(opts, cfg.label, cfg.bytes/int64(scale), cfg.files/scale, cfg.dirs/scale)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, col)
+	}
+	// Extras for Image1: hybrid word model content and a fragmented layout.
+	img1 := configs[0]
+	hybridExtra, layoutExtra, err := t6.measureExtras(opts, img1.bytes/int64(scale), img1.files/scale, img1.dirs/scale)
+	if err != nil {
+		return nil, 0, err
+	}
+	out[0].HybridExtra = hybridExtra
+	out[0].LayoutExtra = layoutExtra
+	return out, scale, nil
+}
+
+func (t6 Table6) measureOne(opts Options, label string, bytes int64, files, dirs int) (Table6Column, error) {
+	col := Table6Column{Label: label, FSBytes: bytes, Files: files, Dirs: dirs, PhaseTimes: map[string]float64{}}
+
+	res, err := core.GenerateImage(core.Config{
+		FSSizeBytes: bytes,
+		NumFiles:    files,
+		NumDirs:     dirs,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return col, err
+	}
+	// Copy the pipeline's own phase timings into the Table 6 wording.
+	col.PhaseTimes["directory structure"] = res.Report.PhaseTimes["directory structure"]
+	col.PhaseTimes["file sizes distribution"] = res.Report.PhaseTimes["file sizes distribution"]
+	col.PhaseTimes["popular extensions"] = res.Report.PhaseTimes["popular extensions"]
+	col.PhaseTimes["file and bytes with depth"] = res.Report.PhaseTimes["file and bytes with depth"]
+
+	// Content generation with the single-word model, counted without touching
+	// the disk (the paper's "File content (Single-word)" row).
+	singleWord := content.NewRegistry(content.KindTextSingleWord)
+	start := time.Now()
+	rng := stats.NewRNG(opts.Seed).Fork("table6/content")
+	var cw content.CountingWriter
+	for _, f := range res.Image.Files {
+		if err := singleWord.ForExtension(f.Ext).Generate(&cw, f.Size, rng); err != nil {
+			return col, err
+		}
+	}
+	col.PhaseTimes["file content (single-word)"] = time.Since(start).Seconds()
+
+	// On-disk creation: materialize the image (default content) into a
+	// scratch directory and remove it afterwards.
+	root, err := os.MkdirTemp("", "impressions-table6-")
+	if err != nil {
+		return col, err
+	}
+	defer os.RemoveAll(root)
+	start = time.Now()
+	if _, err := res.Image.Materialize(root, fsimage.MaterializeOptions{
+		Registry: content.NewRegistry(content.KindTextSingleWord),
+		Seed:     opts.Seed,
+	}); err != nil {
+		return col, err
+	}
+	col.PhaseTimes["on-disk file/dir creation"] = time.Since(start).Seconds()
+
+	for _, v := range col.PhaseTimes {
+		col.TotalTime += v
+	}
+	return col, nil
+}
+
+// measureExtras times the hybrid-word-model content generation and the
+// fragmented-image generation for the Image1 configuration.
+func (t6 Table6) measureExtras(opts Options, bytes int64, files, dirs int) (hybridExtra, layoutExtra float64, err error) {
+	res, err := core.GenerateImage(core.Config{
+		FSSizeBytes: bytes, NumFiles: files, NumDirs: dirs, Seed: opts.Seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	hybrid := content.NewRegistry(content.KindTextModel)
+	rng := stats.NewRNG(opts.Seed).Fork("table6/hybrid")
+	start := time.Now()
+	var cw content.CountingWriter
+	for _, f := range res.Image.Files {
+		if err := hybrid.ForExtension(f.Ext).Generate(&cw, f.Size, rng); err != nil {
+			return 0, 0, err
+		}
+	}
+	hybridExtra = time.Since(start).Seconds()
+
+	start = time.Now()
+	_, err = core.GenerateImage(core.Config{
+		FSSizeBytes: bytes, NumFiles: files, NumDirs: dirs, Seed: opts.Seed,
+		LayoutScore: 0.98,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	layoutExtra = time.Since(start).Seconds()
+	return hybridExtra, layoutExtra, nil
+}

@@ -1,0 +1,402 @@
+// Package constraint implements the multiple-constraint resolution algorithm
+// of §3.4 of the paper. Given a target number of files N, a target sum S
+// (the desired file-system used space), a file-size distribution D3 and an
+// error tolerance β, it produces a set of exactly N samples whose sum is
+// within β·S of S while still following D3 (verified with a two-sample
+// Kolmogorov-Smirnov test).
+//
+// The algorithm is an approximation to a constrained variant of the
+// NP-complete Subset Sum Problem, adapted from Przydatek's O(n log n)
+// randomized greedy + local-improvement heuristic:
+//
+//  1. Draw N samples from D3. If they already satisfy the sum constraint,
+//     done.
+//  2. Otherwise oversample additional values one at a time (up to λ·N
+//     extras). After each oversample, search for a subset of exactly N
+//     elements whose sum is within tolerance, using a greedy fill followed by
+//     local improvement (swap elements in/out to shrink the error).
+//  3. When a candidate subset meets the sum tolerance, run a two-sample K-S
+//     test against the full sample to confirm the distribution is preserved.
+//  4. If the oversampling budget is exhausted, discard the sample set and
+//     start over (up to MaxRestarts).
+package constraint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"impressions/internal/stats"
+	"impressions/internal/stats/gof"
+)
+
+// Problem describes one multiple-constraint resolution instance.
+type Problem struct {
+	// N is the required number of samples (files).
+	N int
+	// TargetSum is the desired sum of all samples (file-system used space).
+	TargetSum float64
+	// Dist is the distribution file sizes are drawn from (D3 in the paper).
+	Dist stats.Distribution
+	// Beta is the maximum allowed relative error between the achieved and
+	// desired sums. Defaults to 0.05 (the paper's 5% error line).
+	Beta float64
+	// Lambda is the maximum oversampling factor α/N. Defaults to 1.0; the
+	// paper observes λ ≤ 1 suffices in almost all cases.
+	Lambda float64
+	// Alpha is the significance level for the K-S distribution check.
+	// Defaults to 0.05.
+	Alpha float64
+	// MaxRestarts bounds how many times the whole sample set may be discarded
+	// and redrawn. Defaults to 10.
+	MaxRestarts int
+	// SkipKS disables the goodness-of-fit check (used by ablation benches).
+	SkipKS bool
+	// SkipLocalImprovement disables the subset-sum local-improvement phase so
+	// only plain oversampling remains (used by ablation benches).
+	SkipLocalImprovement bool
+}
+
+// Result reports the outcome of a resolution.
+type Result struct {
+	// Values are the N resolved samples.
+	Values []float64
+	// Sum is the achieved sum of Values.
+	Sum float64
+	// InitialBeta is the relative error of the very first N-sample draw.
+	InitialBeta float64
+	// FinalBeta is the achieved relative error |Sum-TargetSum|/TargetSum.
+	FinalBeta float64
+	// Oversamples is the number of extra samples drawn (α).
+	Oversamples int
+	// OversampleRate is α/N.
+	OversampleRate float64
+	// Restarts is how many times the sample set was discarded.
+	Restarts int
+	// KS is the two-sample K-S comparison between the resolved subset and the
+	// full oversampled pool (zero value if SkipKS).
+	KS gof.KSResult
+	// Converged is true if all constraints were met.
+	Converged bool
+	// Trace, if recording was enabled, holds the pool sum after each
+	// oversample; it reproduces the convergence lines of Figure 3(a).
+	Trace []float64
+}
+
+// ErrNoDistribution is returned when the problem has a nil distribution.
+var ErrNoDistribution = errors.New("constraint: problem needs a distribution")
+
+// Resolver resolves constraint problems. The zero value is not usable; use
+// NewResolver.
+type Resolver struct {
+	rng        *stats.RNG
+	recordPath bool
+}
+
+// NewResolver returns a resolver that draws samples from rng.
+func NewResolver(rng *stats.RNG) *Resolver { return &Resolver{rng: rng} }
+
+// RecordConvergence makes subsequent Resolve calls record the subset sum
+// after every oversampling step (Figure 3(a) traces).
+func (r *Resolver) RecordConvergence(on bool) { r.recordPath = on }
+
+// Resolve solves the problem, returning the resolved samples and convergence
+// statistics.
+func (r *Resolver) Resolve(p Problem) (Result, error) {
+	if p.Dist == nil {
+		return Result{}, ErrNoDistribution
+	}
+	if p.N <= 0 {
+		return Result{}, fmt.Errorf("constraint: invalid sample count %d", p.N)
+	}
+	if p.TargetSum <= 0 {
+		return Result{}, fmt.Errorf("constraint: invalid target sum %g", p.TargetSum)
+	}
+	applyDefaults(&p)
+
+	var res Result
+	for restart := 0; restart <= p.MaxRestarts; restart++ {
+		res.Restarts = restart
+		ok := r.attempt(p, &res)
+		if ok {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	res.Converged = false
+	return res, nil
+}
+
+func applyDefaults(p *Problem) {
+	if p.Beta <= 0 {
+		p.Beta = 0.05
+	}
+	if p.Lambda <= 0 {
+		p.Lambda = 1.0
+	}
+	if p.Alpha <= 0 {
+		p.Alpha = 0.05
+	}
+	if p.MaxRestarts <= 0 {
+		p.MaxRestarts = 10
+	}
+}
+
+// attempt runs one full draw + oversample loop. It fills res with the latest
+// state and returns true on convergence.
+func (r *Resolver) attempt(p Problem, res *Result) bool {
+	pool := stats.SampleN(p.Dist, r.rng, p.N)
+	tolerance := p.Beta * p.TargetSum
+	maxOversamples := int(p.Lambda * float64(p.N))
+
+	initialSum := stats.Sum(pool)
+	if res.InitialBeta == 0 {
+		res.InitialBeta = math.Abs(initialSum-p.TargetSum) / p.TargetSum
+	}
+	if r.recordPath {
+		res.Trace = append(res.Trace, initialSum)
+	}
+
+	// Fast path: the raw sample already satisfies the constraint.
+	if math.Abs(initialSum-p.TargetSum) <= tolerance {
+		res.Values = pool
+		res.Sum = initialSum
+		res.FinalBeta = math.Abs(initialSum-p.TargetSum) / p.TargetSum
+		res.Oversamples = 0
+		res.OversampleRate = 0
+		if !p.SkipKS {
+			res.KS, _ = gof.KSTwoSample(pool, pool, p.Alpha)
+		}
+		return true
+	}
+
+	// sortedPool mirrors pool in sorted order so feasibility (is there any
+	// N-subset whose sum can fall inside the tolerance band?) can be checked
+	// cheaply before running the expensive subset search. When the target is
+	// far from the expected sum, most oversampling steps are provably
+	// infeasible and are skipped in O(N) each.
+	sortedPool := append([]float64(nil), pool...)
+	sort.Float64s(sortedPool)
+
+	// Abort the attempt early when repeated subset searches stop making
+	// progress; the paper's prescription for such extreme targets is to drop
+	// the sample set and start over.
+	const stallLimit = 50
+	bestErr := math.Inf(1)
+	stalled := 0
+
+	for extra := 1; extra <= maxOversamples; extra++ {
+		sample := p.Dist.Sample(r.rng)
+		pool = append(pool, sample)
+		insertSorted(&sortedPool, sample)
+
+		minSum, maxSum := boundSums(sortedPool, p.N)
+		if minSum > p.TargetSum+tolerance || maxSum < p.TargetSum-tolerance {
+			if r.recordPath {
+				res.Trace = append(res.Trace, nearestBound(minSum, maxSum, p.TargetSum))
+			}
+			continue
+		}
+
+		subset, sum, found := r.selectSubset(pool, p)
+		if r.recordPath {
+			// Record the best-effort sum so convergence plots show motion.
+			res.Trace = append(res.Trace, sum)
+		}
+		if !found {
+			err := math.Abs(sum - p.TargetSum)
+			if err < bestErr*0.99 {
+				bestErr = err
+				stalled = 0
+			} else {
+				stalled++
+				if stalled >= stallLimit {
+					break
+				}
+			}
+			continue
+		}
+		// Check the distribution is preserved.
+		if !p.SkipKS {
+			ks, err := gof.KSTwoSample(subset, pool, p.Alpha)
+			if err != nil || !ks.Passed {
+				// A sum-feasible subset that distorts the distribution counts
+				// as a stall too; targets far from the expected sum can only
+				// be hit by biased subsets, and grinding on them is futile.
+				stalled++
+				if stalled >= stallLimit {
+					break
+				}
+				continue
+			}
+			res.KS = ks
+		}
+		res.Values = subset
+		res.Sum = sum
+		res.FinalBeta = math.Abs(sum-p.TargetSum) / p.TargetSum
+		res.Oversamples = extra
+		res.OversampleRate = float64(extra) / float64(p.N)
+		return true
+	}
+	res.Oversamples = maxOversamples
+	res.OversampleRate = p.Lambda
+	return false
+}
+
+// insertSorted inserts v into the sorted slice pointed to by s.
+func insertSorted(s *[]float64, v float64) {
+	idx := sort.SearchFloat64s(*s, v)
+	*s = append(*s, 0)
+	copy((*s)[idx+1:], (*s)[idx:])
+	(*s)[idx] = v
+}
+
+// boundSums returns the minimum and maximum achievable sums of any subset of
+// exactly n elements of the sorted slice.
+func boundSums(sorted []float64, n int) (minSum, maxSum float64) {
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	for i := 0; i < n; i++ {
+		minSum += sorted[i]
+		maxSum += sorted[len(sorted)-1-i]
+	}
+	return minSum, maxSum
+}
+
+// nearestBound reports whichever achievable bound is closest to the target,
+// for convergence traces.
+func nearestBound(minSum, maxSum, target float64) float64 {
+	if math.Abs(minSum-target) < math.Abs(maxSum-target) {
+		return minSum
+	}
+	return maxSum
+}
+
+// selectSubset searches pool for a subset of exactly p.N elements whose sum
+// is within tolerance of the target. It returns the best subset found, its
+// sum, and whether it met the tolerance.
+func (r *Resolver) selectSubset(pool []float64, p Problem) ([]float64, float64, bool) {
+	tolerance := p.Beta * p.TargetSum
+
+	// Phase 1 (greedy/random initialization): take a random permutation and
+	// greedily fill N slots preferring elements that keep the running sum at
+	// or below the target, mirroring the "valid and maximal" initial vector of
+	// the original subset-sum heuristic but constrained to exactly N elements.
+	perm := r.rng.Perm(len(pool))
+	chosen := make([]int, 0, p.N)
+	skipped := make([]int, 0, len(pool)-p.N)
+	sum := 0.0
+	for _, idx := range perm {
+		if len(chosen) < p.N && sum+pool[idx] <= p.TargetSum {
+			chosen = append(chosen, idx)
+			sum += pool[idx]
+		} else {
+			skipped = append(skipped, idx)
+		}
+	}
+	// If the greedy pass could not find N "fitting" elements, top up with the
+	// smallest skipped elements so the subset has exactly N members.
+	if len(chosen) < p.N {
+		sort.Slice(skipped, func(i, j int) bool { return pool[skipped[i]] < pool[skipped[j]] })
+		for _, idx := range skipped {
+			if len(chosen) == p.N {
+				break
+			}
+			chosen = append(chosen, idx)
+			sum += pool[idx]
+		}
+	}
+	if len(chosen) < p.N {
+		// Pool smaller than N should be impossible (pool starts at N).
+		return nil, sum, false
+	}
+	// Rebuild the skipped list as the complement of chosen.
+	inChosen := make([]bool, len(pool))
+	for _, idx := range chosen {
+		inChosen[idx] = true
+	}
+	skipped = skipped[:0]
+	for idx := range pool {
+		if !inChosen[idx] {
+			skipped = append(skipped, idx)
+		}
+	}
+
+	if math.Abs(sum-p.TargetSum) <= tolerance {
+		return gather(pool, chosen), sum, true
+	}
+	if p.SkipLocalImprovement {
+		return gather(pool, chosen), sum, false
+	}
+
+	// Phase 2 (local improvement): repeatedly look for a swap between a chosen
+	// element and a skipped element that reduces |sum - target|. Sorting the
+	// skipped elements lets each search be a binary search for the ideal
+	// replacement value, keeping the whole pass O(n log n).
+	sort.Slice(skipped, func(i, j int) bool { return pool[skipped[i]] < pool[skipped[j]] })
+	improved := true
+	for pass := 0; pass < 4 && improved; pass++ {
+		improved = false
+		for ci, cIdx := range chosen {
+			current := pool[cIdx]
+			// Ideal replacement value to hit the target exactly.
+			want := current + (p.TargetSum - sum)
+			si := sort.Search(len(skipped), func(i int) bool { return pool[skipped[i]] >= want })
+			bestErr := math.Abs(sum - p.TargetSum)
+			bestSwap := -1
+			for _, cand := range neighborhood(si, len(skipped)) {
+				candidate := pool[skipped[cand]]
+				newErr := math.Abs(sum - current + candidate - p.TargetSum)
+				if newErr < bestErr {
+					bestErr = newErr
+					bestSwap = cand
+				}
+			}
+			if bestSwap >= 0 {
+				sIdx := skipped[bestSwap]
+				sum = sum - current + pool[sIdx]
+				chosen[ci], skipped[bestSwap] = sIdx, cIdx
+				// Keep skipped sorted: re-sort lazily only when needed.
+				sortNeighborhood(pool, skipped, bestSwap)
+				improved = true
+				if math.Abs(sum-p.TargetSum) <= tolerance {
+					return gather(pool, chosen), sum, true
+				}
+			}
+		}
+	}
+	return gather(pool, chosen), sum, math.Abs(sum-p.TargetSum) <= tolerance
+}
+
+// neighborhood returns candidate indices around a binary-search insertion
+// point, clamped to [0, n).
+func neighborhood(center, n int) []int {
+	out := make([]int, 0, 3)
+	for _, idx := range []int{center - 1, center, center + 1} {
+		if idx >= 0 && idx < n {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// sortNeighborhood restores sortedness of skipped around position i after a
+// single element was replaced, using insertion-sort style swaps.
+func sortNeighborhood(pool []float64, skipped []int, i int) {
+	for j := i; j > 0 && pool[skipped[j]] < pool[skipped[j-1]]; j-- {
+		skipped[j], skipped[j-1] = skipped[j-1], skipped[j]
+	}
+	for j := i; j < len(skipped)-1 && pool[skipped[j]] > pool[skipped[j+1]]; j++ {
+		skipped[j], skipped[j+1] = skipped[j+1], skipped[j]
+	}
+}
+
+func gather(pool []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package constraint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"impressions/internal/stats"
+)
+
+// paperDist is the file-size distribution used in the paper's constraint
+// examples (§3.4, Figure 3, Table 4): lognormal(µ=8.16, σ=2.46).
+//
+// Note on units: with these parameters the expected sum of 1000 samples is
+// about 72 million, so the paper's literal 30000/60000/90000-byte targets are
+// unreachable; the reproduction keeps the distribution and expresses targets
+// as {0.5, 1.0, 1.5} times the expected sum, preserving the structure of the
+// paper's experiment (see EXPERIMENTS.md).
+func paperDist() stats.Distribution { return stats.NewLognormal(8.16, 2.46) }
+
+// expectedSum returns n times the distribution's mean, the "expected sum" the
+// paper's Table 4 references.
+func expectedSum(n int) float64 { return float64(n) * paperDist().Mean() }
+
+func TestResolveMatchingTargetConverges(t *testing.T) {
+	rng := stats.NewRNG(1)
+	r := NewResolver(rng)
+	// Ask for exactly the expected sum; the resolver should converge with
+	// little oversampling.
+	res, err := r.Resolve(Problem{N: 1000, TargetSum: expectedSum(1000), Dist: paperDist()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence for a target near the expected sum")
+	}
+	if len(res.Values) != 1000 {
+		t.Fatalf("got %d values, want exactly 1000", len(res.Values))
+	}
+	if res.FinalBeta > 0.05 {
+		t.Errorf("final beta %.4f exceeds 0.05", res.FinalBeta)
+	}
+	sum := stats.Sum(res.Values)
+	if math.Abs(sum-res.Sum) > 1e-6 {
+		t.Errorf("reported sum %.1f does not match actual %.1f", res.Sum, sum)
+	}
+}
+
+func TestResolveLowAndHighTargets(t *testing.T) {
+	// The paper's Table 4 evaluates targets at 0.5x, 1.0x and 1.5x the
+	// expected sum for 1000 files; all should converge most of the time.
+	for _, factor := range []float64{0.5, 1.0, 1.5} {
+		target := factor * expectedSum(1000)
+		rng := stats.NewRNG(42)
+		r := NewResolver(rng)
+		res, err := r.Resolve(Problem{N: 1000, TargetSum: target, Dist: paperDist()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("target %.2fx did not converge", factor)
+			continue
+		}
+		if res.FinalBeta > 0.05 {
+			t.Errorf("target %.2fx: final beta %.4f > 0.05", factor, res.FinalBeta)
+		}
+		if len(res.Values) != 1000 {
+			t.Errorf("target %.2fx: %d values", factor, len(res.Values))
+		}
+	}
+}
+
+func TestResolvePreservesDistribution(t *testing.T) {
+	rng := stats.NewRNG(7)
+	r := NewResolver(rng)
+	res, err := r.Resolve(Problem{N: 1000, TargetSum: 1.5 * expectedSum(1000), Dist: paperDist()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Skip("this seed did not converge; distribution check not applicable")
+	}
+	if !res.KS.Passed {
+		t.Errorf("K-S test failed: D=%.4f > critical %.4f", res.KS.D, res.KS.Critical)
+	}
+	if res.KS.D > 0.1 {
+		t.Errorf("K-S D statistic %.4f unexpectedly large", res.KS.D)
+	}
+}
+
+func TestResolveOversampleRateIsSmall(t *testing.T) {
+	rng := stats.NewRNG(11)
+	r := NewResolver(rng)
+	res, err := r.Resolve(Problem{N: 1000, TargetSum: expectedSum(1000), Dist: paperDist()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence")
+	}
+	// The paper reports ~5% average oversampling for the matched-target case.
+	if res.OversampleRate > 0.5 {
+		t.Errorf("oversample rate %.2f unexpectedly high", res.OversampleRate)
+	}
+}
+
+func TestResolveRecordsTrace(t *testing.T) {
+	rng := stats.NewRNG(3)
+	r := NewResolver(rng)
+	r.RecordConvergence(true)
+	res, err := r.Resolve(Problem{N: 500, TargetSum: 1.2 * expectedSum(500), Dist: paperDist()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("expected a convergence trace")
+	}
+	if res.Trace[0] <= 0 {
+		t.Errorf("trace starts at %.1f, want the initial sample sum", res.Trace[0])
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	r := NewResolver(stats.NewRNG(1))
+	if _, err := r.Resolve(Problem{N: 10, TargetSum: 100}); err == nil {
+		t.Error("expected error for missing distribution")
+	}
+	if _, err := r.Resolve(Problem{N: 0, TargetSum: 100, Dist: paperDist()}); err == nil {
+		t.Error("expected error for zero N")
+	}
+	if _, err := r.Resolve(Problem{N: 10, TargetSum: 0, Dist: paperDist()}); err == nil {
+		t.Error("expected error for zero target sum")
+	}
+}
+
+func TestResolveImpossibleTargetFailsGracefully(t *testing.T) {
+	// A target orders of magnitude above anything achievable should be
+	// reported as non-converged, not hang or panic.
+	rng := stats.NewRNG(5)
+	r := NewResolver(rng)
+	res, err := r.Resolve(Problem{
+		N: 100, TargetSum: 1e15, Dist: stats.NewLognormal(2, 0.5),
+		MaxRestarts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("impossible target reported as converged")
+	}
+}
+
+func TestResolveSkipLocalImprovementStillBounded(t *testing.T) {
+	rng := stats.NewRNG(9)
+	r := NewResolver(rng)
+	res, err := r.Resolve(Problem{
+		N: 500, TargetSum: 0.9 * expectedSum(500), Dist: paperDist(),
+		SkipLocalImprovement: true, MaxRestarts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without local improvement convergence is much rarer (that is the point
+	// of the ablation); we only require a well-formed result.
+	if res.Converged && len(res.Values) != 500 {
+		t.Errorf("converged with %d values, want 500", len(res.Values))
+	}
+}
+
+func TestResolveInitialBetaReported(t *testing.T) {
+	rng := stats.NewRNG(21)
+	r := NewResolver(rng)
+	res, err := r.Resolve(Problem{N: 1000, TargetSum: 1.5 * expectedSum(1000), Dist: paperDist()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialBeta <= 0 {
+		t.Errorf("initial beta %.4f should be positive for a 1.5x target", res.InitialBeta)
+	}
+	// When the initial draw misses the tolerance band, resolution must have
+	// improved the error; when it already satisfies the constraint the betas
+	// are equal by definition.
+	if res.Converged && res.InitialBeta > 0.05 && res.FinalBeta >= res.InitialBeta {
+		t.Errorf("final beta %.4f should improve on initial %.4f", res.FinalBeta, res.InitialBeta)
+	}
+}
+
+func TestBoundSums(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	min, max := boundSums(sorted, 2)
+	if min != 3 || max != 9 {
+		t.Errorf("boundSums = %g,%g, want 3,9", min, max)
+	}
+	min, max = boundSums(sorted, 10)
+	if min != 15 || max != 15 {
+		t.Errorf("boundSums with n>len = %g,%g, want 15,15", min, max)
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	s := []float64{1, 3, 5}
+	insertSorted(&s, 4)
+	insertSorted(&s, 0)
+	insertSorted(&s, 9)
+	want := []float64{0, 1, 3, 4, 5, 9}
+	if len(s) != len(want) {
+		t.Fatalf("got %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("got %v, want %v", s, want)
+		}
+	}
+}
+
+// Property: whenever the resolver converges it returns exactly N values, all
+// positive, whose sum is within beta of the target.
+func TestQuickResolverInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		r := NewResolver(rng)
+		// Target drawn near the expected sum so most trials converge.
+		target := expectedSum(200)
+		res, err := r.Resolve(Problem{N: 200, TargetSum: target, Dist: paperDist(), MaxRestarts: 3})
+		if err != nil {
+			return false
+		}
+		if !res.Converged {
+			return true // non-convergence is allowed; invariants only apply on success
+		}
+		if len(res.Values) != 200 {
+			return false
+		}
+		sum := 0.0
+		for _, v := range res.Values {
+			if v <= 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-target)/target <= 0.05+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

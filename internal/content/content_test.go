@@ -1,0 +1,345 @@
+package content
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"impressions/internal/stats"
+)
+
+func TestPopularityModelEmitsKnownWords(t *testing.T) {
+	m := NewPopularityModel(1.0)
+	rng := stats.NewRNG(1)
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[m.Word(rng)]++
+	}
+	if counts["the"] == 0 {
+		t.Fatal("most popular word never emitted")
+	}
+	// Zipf: rank 1 should be much more frequent than rank 50.
+	if counts["the"] <= counts["if"] {
+		t.Errorf("word popularity not Zipf-like: the=%d if=%d", counts["the"], counts["if"])
+	}
+	if m.Vocabulary() < 100 {
+		t.Errorf("vocabulary %d too small", m.Vocabulary())
+	}
+}
+
+func TestLengthModelWordShapes(t *testing.T) {
+	m := NewLengthModel()
+	rng := stats.NewRNG(2)
+	totalLen := 0
+	for i := 0; i < 5000; i++ {
+		w := m.Word(rng)
+		if len(w) == 0 || len(w) > 24 {
+			t.Fatalf("word %q has unreasonable length", w)
+		}
+		for _, c := range w {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("word %q contains non-letter", w)
+			}
+		}
+		totalLen += len(w)
+	}
+	mean := float64(totalLen) / 5000
+	if mean < 2 || mean > 8 {
+		t.Errorf("mean synthetic word length %.2f outside the English-like band", mean)
+	}
+}
+
+func TestHybridModelMixesSources(t *testing.T) {
+	m := NewHybridModel(0.5)
+	rng := stats.NewRNG(3)
+	known := map[string]bool{}
+	for _, w := range popularWords {
+		known[w] = true
+	}
+	fromList, synthetic := 0, 0
+	for i := 0; i < 5000; i++ {
+		if known[m.Word(rng)] {
+			fromList++
+		} else {
+			synthetic++
+		}
+	}
+	if fromList == 0 || synthetic == 0 {
+		t.Errorf("hybrid model should mix both sources: list=%d synthetic=%d", fromList, synthetic)
+	}
+}
+
+func TestSingleWordModel(t *testing.T) {
+	m := NewSingleWordModel("")
+	rng := stats.NewRNG(4)
+	if m.Word(rng) != "impressions" || m.Word(rng) != "impressions" {
+		t.Error("single-word model should always emit the same word")
+	}
+}
+
+func TestTextGeneratorExactSize(t *testing.T) {
+	g := NewTextGenerator(NewHybridModel(0.2))
+	rng := stats.NewRNG(5)
+	for _, size := range []int64{0, 1, 7, 100, 4096, 100000} {
+		var buf bytes.Buffer
+		if err := g.Generate(&buf, size, rng); err != nil {
+			t.Fatal(err)
+		}
+		if int64(buf.Len()) != size {
+			t.Errorf("generated %d bytes, want %d", buf.Len(), size)
+		}
+	}
+}
+
+func TestTextGeneratorIsTexty(t *testing.T) {
+	g := NewTextGenerator(NewPopularityModel(1.0))
+	rng := stats.NewRNG(6)
+	var buf bytes.Buffer
+	if err := g.Generate(&buf, 5000, rng); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, " ") && !strings.Contains(s, "\n") {
+		t.Error("text content should contain separators")
+	}
+	for _, c := range []byte(s) {
+		if c != ' ' && c != '\n' && (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			t.Fatalf("unexpected byte %q in text content", c)
+		}
+	}
+}
+
+func TestBinaryGeneratorSizeAndEntropy(t *testing.T) {
+	g := BinaryGenerator{}
+	rng := stats.NewRNG(7)
+	var buf bytes.Buffer
+	if err := g.Generate(&buf, 64*1024, rng); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 64*1024 {
+		t.Fatalf("generated %d bytes", buf.Len())
+	}
+	// Count distinct byte values; random data should use most of them.
+	seen := map[byte]bool{}
+	for _, b := range buf.Bytes() {
+		seen[b] = true
+	}
+	if len(seen) < 200 {
+		t.Errorf("binary content uses only %d distinct byte values", len(seen))
+	}
+}
+
+func TestZeroGenerator(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (ZeroGenerator{}).Generate(&buf, 10000, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf.Bytes() {
+		if b != 0 {
+			t.Fatal("zero generator produced non-zero byte")
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := []Generator{
+		NewTextGenerator(NewHybridModel(0.2)),
+		BinaryGenerator{},
+		NewJPEG(),
+		NewPDF(),
+	}
+	for _, g := range gens {
+		var a, b bytes.Buffer
+		if err := g.Generate(&a, 10000, stats.NewRNG(99)); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Generate(&b, 10000, stats.NewRNG(99)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: same-seed content differs", g.Name())
+		}
+	}
+}
+
+func TestSimilarityGeneratorSharedPrefix(t *testing.T) {
+	g := NewSimilarityGenerator(BinaryGenerator{}, 0.5, 123)
+	var a, b bytes.Buffer
+	if err := g.Generate(&a, 20000, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Generate(&b, 20000, stats.NewRNG(2)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 20000 || b.Len() != 20000 {
+		t.Fatal("wrong sizes")
+	}
+	shared := 0
+	for i := 0; i < 10000; i++ {
+		if a.Bytes()[i] == b.Bytes()[i] {
+			shared++
+		}
+	}
+	if shared < 9900 {
+		t.Errorf("first half should be the shared block; %d/10000 bytes equal", shared)
+	}
+	if bytes.Equal(a.Bytes()[10000:], b.Bytes()[10000:]) {
+		t.Error("unique halves should differ across files")
+	}
+}
+
+func TestTypedGeneratorsHeaders(t *testing.T) {
+	cases := []struct {
+		gen   *TypedGenerator
+		magic []byte
+	}{
+		{NewJPEG(), []byte{0xFF, 0xD8}},
+		{NewGIF(), []byte("GIF89a")},
+		{NewPNG(), []byte{0x89, 'P', 'N', 'G'}},
+		{NewMP3(), []byte("ID3")},
+		{NewPDF(), []byte("%PDF-")},
+		{NewHTML(), []byte("<!DOCTYPE html>")},
+		{NewZIP(), []byte{'P', 'K', 0x03, 0x04}},
+		{NewExecutable("exe"), []byte{'M', 'Z'}},
+		{NewWAV(), []byte("RIFF")},
+		{NewMPEG(), []byte{0x00, 0x00, 0x01, 0xBA}},
+	}
+	rng := stats.NewRNG(8)
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := c.gen.Generate(&buf, 8192, rng); err != nil {
+			t.Fatalf("%s: %v", c.gen.Name(), err)
+		}
+		if buf.Len() != 8192 {
+			t.Errorf("%s: generated %d bytes, want 8192", c.gen.Name(), buf.Len())
+		}
+		if !bytes.HasPrefix(buf.Bytes(), c.magic) {
+			t.Errorf("%s: content does not start with its magic number", c.gen.Name())
+		}
+	}
+}
+
+func TestTypedGeneratorFooter(t *testing.T) {
+	rng := stats.NewRNG(9)
+	var buf bytes.Buffer
+	if err := NewJPEG().Generate(&buf, 4096, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte{0xFF, 0xD9}) {
+		t.Error("JPEG content should end with EOI marker")
+	}
+}
+
+func TestTypedGeneratorTinyFiles(t *testing.T) {
+	rng := stats.NewRNG(10)
+	for _, size := range []int64{0, 1, 3, 10} {
+		var buf bytes.Buffer
+		if err := NewJPEG().Generate(&buf, size, rng); err != nil {
+			t.Fatal(err)
+		}
+		if int64(buf.Len()) != size {
+			t.Errorf("size %d: generated %d bytes", size, buf.Len())
+		}
+	}
+}
+
+func TestRegistryDefaultPolicy(t *testing.T) {
+	r := NewRegistry(KindDefault)
+	if r.Kind() != KindDefault {
+		t.Error("kind mismatch")
+	}
+	if _, ok := r.ForExtension("jpg").(*TypedGenerator); !ok {
+		t.Error("jpg should map to a typed generator")
+	}
+	if _, ok := r.ForExtension(".JPG").(*TypedGenerator); !ok {
+		t.Error("extension lookup should be case-insensitive and tolerate dots")
+	}
+	if _, ok := r.ForExtension("txt").(*TextGenerator); !ok {
+		t.Error("txt should map to the text generator")
+	}
+	if _, ok := r.ForExtension("xyz").(BinaryGenerator); !ok {
+		t.Error("unknown extensions should map to binary content")
+	}
+	if !r.IsTextExtension("txt") || !r.IsTextExtension("") || r.IsTextExtension("jpg") {
+		t.Error("IsTextExtension misclassifies")
+	}
+}
+
+func TestRegistryUniformPolicies(t *testing.T) {
+	rng := stats.NewRNG(11)
+	cases := map[Kind]string{
+		KindTextSingleWord: "impressions",
+		KindTextModel:      " ",
+	}
+	for kind, needle := range cases {
+		r := NewRegistry(kind)
+		var buf bytes.Buffer
+		if err := r.ForExtension("dll").Generate(&buf, 2000, rng); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), needle) {
+			t.Errorf("policy %s: generated content for dll does not look like text", kind)
+		}
+	}
+	r := NewRegistry(KindImage)
+	var buf bytes.Buffer
+	if err := r.ForExtension("txt").Generate(&buf, 2000, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte{0xFF, 0xD8}) {
+		t.Error("image policy should generate JPEG content for every file")
+	}
+}
+
+func TestRegistrySetTextModel(t *testing.T) {
+	r := NewRegistry(KindDefault)
+	r.SetTextModel(NewSingleWordModel("zzz"))
+	var buf bytes.Buffer
+	if err := r.ForExtension("txt").Generate(&buf, 100, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "zzz") {
+		t.Error("overridden text model not used")
+	}
+}
+
+func TestCountingWriter(t *testing.T) {
+	var cw CountingWriter
+	if err := (ZeroGenerator{}).Generate(&cw, 12345, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if cw.N != 12345 {
+		t.Errorf("counted %d bytes, want 12345", cw.N)
+	}
+}
+
+// Property: every generator produces exactly the requested number of bytes
+// for arbitrary sizes.
+func TestQuickGeneratorsExactSize(t *testing.T) {
+	gens := []Generator{
+		NewTextGenerator(NewHybridModel(0.2)),
+		BinaryGenerator{},
+		ZeroGenerator{},
+		NewJPEG(),
+		NewPDF(),
+		NewSimilarityGenerator(BinaryGenerator{}, 0.3, 1),
+	}
+	f := func(sizeRaw uint16, seed int64) bool {
+		size := int64(sizeRaw)
+		rng := stats.NewRNG(seed)
+		for _, g := range gens {
+			var cw CountingWriter
+			if err := g.Generate(&cw, size, rng); err != nil {
+				return false
+			}
+			if cw.N != size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

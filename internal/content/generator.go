@@ -1,0 +1,219 @@
+package content
+
+import (
+	"fmt"
+	"io"
+
+	"impressions/internal/stats"
+)
+
+// Generator produces exactly size bytes of file content into w.
+type Generator interface {
+	// Generate writes size bytes of content to w.
+	Generate(w io.Writer, size int64, rng *stats.RNG) error
+	// Name identifies the generator in reproducibility reports.
+	Name() string
+}
+
+// Kind selects a top-level content policy for an image.
+type Kind string
+
+// Content policy kinds, matching the configurations used in Figures 7 and 8
+// of the paper.
+const (
+	// KindDefault generates typed content per extension: text-like files use
+	// the hybrid word model, known binary extensions get valid headers, and
+	// unknown extensions get random bytes.
+	KindDefault Kind = "default"
+	// KindTextSingleWord fills every file with a single repeated word.
+	KindTextSingleWord Kind = "text-1word"
+	// KindTextModel fills every file with word-model text.
+	KindTextModel Kind = "text-model"
+	// KindImage fills every file with image (JPEG) content.
+	KindImage Kind = "image"
+	// KindBinary fills every file with random binary content.
+	KindBinary Kind = "binary"
+	// KindZero fills every file with zero bytes (fastest; metadata-only
+	// studies).
+	KindZero Kind = "zero"
+)
+
+// TextGenerator writes text produced by a WordModel, wrapping lines at
+// roughly 72 characters.
+type TextGenerator struct {
+	Model WordModel
+}
+
+// NewTextGenerator returns a text generator over the given word model.
+func NewTextGenerator(model WordModel) *TextGenerator { return &TextGenerator{Model: model} }
+
+// Generate implements Generator.
+func (g *TextGenerator) Generate(w io.Writer, size int64, rng *stats.RNG) error {
+	const lineWidth = 72
+	buf := make([]byte, 0, 4096)
+	var written int64
+	lineLen := 0
+	for written < size {
+		word := g.Model.Word(rng)
+		need := size - written
+		chunk := word
+		sep := byte(' ')
+		if lineLen+len(word)+1 > lineWidth {
+			sep = '\n'
+			lineLen = 0
+		}
+		buf = append(buf, chunk...)
+		buf = append(buf, sep)
+		lineLen += len(word) + 1
+		if int64(len(buf)) >= need || len(buf) >= 4096 {
+			emit := buf
+			if int64(len(emit)) > need {
+				emit = emit[:need]
+			}
+			if _, err := w.Write(emit); err != nil {
+				return fmt.Errorf("content: writing text: %w", err)
+			}
+			written += int64(len(emit))
+			buf = buf[:0]
+		}
+	}
+	return nil
+}
+
+// Name implements Generator.
+func (g *TextGenerator) Name() string { return "text(" + g.Model.Name() + ")" }
+
+// BinaryGenerator writes pseudo-random bytes (incompressible, unique per
+// file), the "Binary" configuration of Figure 7.
+type BinaryGenerator struct{}
+
+// Generate implements Generator.
+func (BinaryGenerator) Generate(w io.Writer, size int64, rng *stats.RNG) error {
+	buf := make([]byte, 8192)
+	var written int64
+	for written < size {
+		n := int64(len(buf))
+		if size-written < n {
+			n = size - written
+		}
+		fillRandom(buf[:n], rng)
+		if _, err := w.Write(buf[:n]); err != nil {
+			return fmt.Errorf("content: writing binary: %w", err)
+		}
+		written += n
+	}
+	return nil
+}
+
+// Name implements Generator.
+func (BinaryGenerator) Name() string { return "binary" }
+
+// ZeroGenerator writes size zero bytes; useful for metadata-only experiments
+// where content is irrelevant but sizes must be correct.
+type ZeroGenerator struct{}
+
+// Generate implements Generator.
+func (ZeroGenerator) Generate(w io.Writer, size int64, rng *stats.RNG) error {
+	buf := make([]byte, 8192)
+	var written int64
+	for written < size {
+		n := int64(len(buf))
+		if size-written < n {
+			n = size - written
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return fmt.Errorf("content: writing zeros: %w", err)
+		}
+		written += n
+	}
+	return nil
+}
+
+// Name implements Generator.
+func (ZeroGenerator) Name() string { return "zero" }
+
+// SimilarityGenerator wraps another generator and re-emits a shared "seed
+// block" for a controllable fraction of the content, producing a corpus with
+// a specified degree of content similarity across files. The paper calls this
+// out as the natural extension for evaluating content-addressable storage.
+type SimilarityGenerator struct {
+	// Base produces the unique portion of each file.
+	Base Generator
+	// SharedFraction in [0,1] is the fraction of each file's bytes that come
+	// from the shared block (identical across all files using this
+	// generator).
+	SharedFraction float64
+	shared         []byte
+}
+
+// NewSimilarityGenerator builds a similarity-controlled generator. The shared
+// block is derived deterministically from sharedSeed.
+func NewSimilarityGenerator(base Generator, sharedFraction float64, sharedSeed int64) *SimilarityGenerator {
+	if sharedFraction < 0 {
+		sharedFraction = 0
+	}
+	if sharedFraction > 1 {
+		sharedFraction = 1
+	}
+	shared := make([]byte, 64*1024)
+	fillRandom(shared, stats.NewRNG(sharedSeed))
+	return &SimilarityGenerator{Base: base, SharedFraction: sharedFraction, shared: shared}
+}
+
+// Generate implements Generator.
+func (g *SimilarityGenerator) Generate(w io.Writer, size int64, rng *stats.RNG) error {
+	sharedBytes := int64(float64(size) * g.SharedFraction)
+	var written int64
+	for written < sharedBytes {
+		n := int64(len(g.shared))
+		if sharedBytes-written < n {
+			n = sharedBytes - written
+		}
+		if _, err := w.Write(g.shared[:n]); err != nil {
+			return fmt.Errorf("content: writing shared block: %w", err)
+		}
+		written += n
+	}
+	if size-written > 0 {
+		return g.Base.Generate(w, size-written, rng)
+	}
+	return nil
+}
+
+// Name implements Generator.
+func (g *SimilarityGenerator) Name() string {
+	return fmt.Sprintf("similarity(%.0f%%,%s)", g.SharedFraction*100, g.Base.Name())
+}
+
+// fillRandom fills buf with deterministic pseudo-random bytes from rng.
+func fillRandom(buf []byte, rng *stats.RNG) {
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		v := rng.Uint64()
+		buf[i] = byte(v)
+		buf[i+1] = byte(v >> 8)
+		buf[i+2] = byte(v >> 16)
+		buf[i+3] = byte(v >> 24)
+		buf[i+4] = byte(v >> 32)
+		buf[i+5] = byte(v >> 40)
+		buf[i+6] = byte(v >> 48)
+		buf[i+7] = byte(v >> 56)
+	}
+	if i < len(buf) {
+		v := rng.Uint64()
+		for ; i < len(buf); i++ {
+			buf[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// CountingWriter counts bytes written to it; used by tests and by the search
+// simulators to account for index sizes without buffering content.
+type CountingWriter struct{ N int64 }
+
+// Write implements io.Writer.
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	c.N += int64(len(p))
+	return len(p), nil
+}

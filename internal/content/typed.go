@@ -1,0 +1,183 @@
+package content
+
+import (
+	"fmt"
+	"io"
+
+	"impressions/internal/stats"
+)
+
+// TypedGenerator produces files of a specific binary or structured format
+// with a minimally valid header (and footer where the format requires one),
+// padded to the requested size with format-appropriate filler. The paper uses
+// third-party tools (Id3v2, GraphApp, MPlayer, asciidoc, ascii2pdf) for this;
+// here the headers are produced natively so the library stays stdlib-only.
+type TypedGenerator struct {
+	// Extension is the canonical extension (without dot) this generator
+	// serves, e.g. "jpg".
+	Extension string
+	header    []byte
+	footer    []byte
+	filler    Generator
+}
+
+// Generate implements Generator. Files smaller than the header are truncated
+// header prefixes (still recognizable by magic number).
+func (g *TypedGenerator) Generate(w io.Writer, size int64, rng *stats.RNG) error {
+	if size <= 0 {
+		return nil
+	}
+	header := g.header
+	if int64(len(header)) > size {
+		header = header[:size]
+	}
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("content: writing %s header: %w", g.Extension, err)
+	}
+	remaining := size - int64(len(header))
+	footerLen := int64(len(g.footer))
+	if footerLen > remaining {
+		footerLen = remaining
+	}
+	body := remaining - footerLen
+	if body > 0 {
+		if err := g.filler.Generate(w, body, rng); err != nil {
+			return err
+		}
+	}
+	if footerLen > 0 {
+		if _, err := w.Write(g.footer[len(g.footer)-int(footerLen):]); err != nil {
+			return fmt.Errorf("content: writing %s footer: %w", g.Extension, err)
+		}
+	}
+	return nil
+}
+
+// Name implements Generator.
+func (g *TypedGenerator) Name() string { return "typed(" + g.Extension + ")" }
+
+// Header returns a copy of the format header (useful for tests).
+func (g *TypedGenerator) Header() []byte { return append([]byte(nil), g.header...) }
+
+// newTyped builds a typed generator.
+func newTyped(ext string, header, footer []byte, filler Generator) *TypedGenerator {
+	if filler == nil {
+		filler = BinaryGenerator{}
+	}
+	return &TypedGenerator{Extension: ext, header: header, footer: footer, filler: filler}
+}
+
+// NewJPEG returns a generator for JPEG image files (SOI/APP0 JFIF header,
+// EOI footer, incompressible body).
+func NewJPEG() *TypedGenerator {
+	header := []byte{
+		0xFF, 0xD8, // SOI
+		0xFF, 0xE0, 0x00, 0x10, // APP0 length 16
+		'J', 'F', 'I', 'F', 0x00,
+		0x01, 0x02, // version
+		0x00,       // units
+		0x00, 0x48, // X density
+		0x00, 0x48, // Y density
+		0x00, 0x00, // no thumbnail
+		0xFF, 0xDB, 0x00, 0x43, 0x00, // DQT marker start
+	}
+	return newTyped("jpg", header, []byte{0xFF, 0xD9}, BinaryGenerator{})
+}
+
+// NewGIF returns a generator for GIF image files (GIF89a header, trailer
+// byte footer).
+func NewGIF() *TypedGenerator {
+	header := []byte{
+		'G', 'I', 'F', '8', '9', 'a',
+		0x40, 0x01, // width 320
+		0xF0, 0x00, // height 240
+		0xF7,       // GCT flags
+		0x00, 0x00, // background, aspect
+	}
+	return newTyped("gif", header, []byte{0x3B}, BinaryGenerator{})
+}
+
+// NewPNG returns a generator for PNG image files (signature + IHDR chunk,
+// IEND footer).
+func NewPNG() *TypedGenerator {
+	header := []byte{
+		0x89, 'P', 'N', 'G', '\r', '\n', 0x1A, '\n',
+		0x00, 0x00, 0x00, 0x0D, 'I', 'H', 'D', 'R',
+		0x00, 0x00, 0x01, 0x40, // width
+		0x00, 0x00, 0x00, 0xF0, // height
+		0x08, 0x02, 0x00, 0x00, 0x00, // bit depth, color type, etc.
+		0x00, 0x00, 0x00, 0x00, // CRC placeholder
+	}
+	footer := []byte{0x00, 0x00, 0x00, 0x00, 'I', 'E', 'N', 'D', 0xAE, 0x42, 0x60, 0x82}
+	return newTyped("png", header, footer, BinaryGenerator{})
+}
+
+// NewMP3 returns a generator for MP3 audio files carrying an ID3v2 tag header
+// followed by MPEG frame sync bytes.
+func NewMP3() *TypedGenerator {
+	header := []byte{
+		'I', 'D', '3', 0x03, 0x00, 0x00, // ID3v2.3
+		0x00, 0x00, 0x00, 0x1F, // tag size (synchsafe)
+		'T', 'I', 'T', '2', 0x00, 0x00, 0x00, 0x0B, 0x00, 0x00, 0x00,
+		'i', 'm', 'p', 'r', 'e', 's', 's', 'i', 'o', 'n',
+		0xFF, 0xFB, 0x90, 0x00, // MPEG-1 Layer III frame sync
+	}
+	return newTyped("mp3", header, nil, BinaryGenerator{})
+}
+
+// NewPDF returns a generator for PDF documents with a minimal valid object
+// skeleton and %%EOF trailer; the body is word-model text inside a stream.
+func NewPDF() *TypedGenerator {
+	header := []byte("%PDF-1.4\n1 0 obj\n<< /Type /Catalog /Pages 2 0 R >>\nendobj\n" +
+		"2 0 obj\n<< /Type /Pages /Kids [3 0 R] /Count 1 >>\nendobj\n" +
+		"3 0 obj\n<< /Type /Page /Parent 2 0 R >>\nendobj\n4 0 obj\n<< >>\nstream\n")
+	footer := []byte("\nendstream\nendobj\ntrailer\n<< /Root 1 0 R >>\n%%EOF\n")
+	return newTyped("pdf", header, footer, NewTextGenerator(NewHybridModel(0.2)))
+}
+
+// NewHTML returns a generator for HTML documents with valid document
+// structure and word-model text in the body.
+func NewHTML() *TypedGenerator {
+	header := []byte("<!DOCTYPE html>\n<html>\n<head><title>impressions</title></head>\n<body>\n<p>")
+	footer := []byte("</p>\n</body>\n</html>\n")
+	return newTyped("htm", header, footer, NewTextGenerator(NewHybridModel(0.2)))
+}
+
+// NewZIP returns a generator for archive files: a ZIP local-file-header magic
+// followed by incompressible data and the end-of-central-directory record.
+func NewZIP() *TypedGenerator {
+	header := []byte{'P', 'K', 0x03, 0x04, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00}
+	footer := []byte{'P', 'K', 0x05, 0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}
+	return newTyped("zip", header, footer, BinaryGenerator{})
+}
+
+// NewExecutable returns a generator for PE-like executable and library files
+// (MZ/PE headers followed by incompressible sections), used for exe/dll/lib.
+func NewExecutable(ext string) *TypedGenerator {
+	header := []byte{
+		'M', 'Z', 0x90, 0x00, 0x03, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00,
+		0xFF, 0xFF, 0x00, 0x00, 0xB8, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x40, 0x00, 0x00, 0x00,
+		'P', 'E', 0x00, 0x00, 0x4C, 0x01, // PE signature, machine i386
+	}
+	return newTyped(ext, header, nil, BinaryGenerator{})
+}
+
+// NewMPEG returns a generator for MPEG video files (pack start code header).
+func NewMPEG() *TypedGenerator {
+	header := []byte{0x00, 0x00, 0x01, 0xBA, 0x44, 0x00, 0x04, 0x00, 0x04, 0x01}
+	return newTyped("mpg", header, nil, BinaryGenerator{})
+}
+
+// NewWAV returns a generator for WAV audio (RIFF/WAVE header).
+func NewWAV() *TypedGenerator {
+	header := []byte{
+		'R', 'I', 'F', 'F', 0x00, 0x00, 0x00, 0x00,
+		'W', 'A', 'V', 'E', 'f', 'm', 't', ' ',
+		0x10, 0x00, 0x00, 0x00, 0x01, 0x00, 0x02, 0x00,
+		0x44, 0xAC, 0x00, 0x00, 0x10, 0xB1, 0x02, 0x00,
+		0x04, 0x00, 0x10, 0x00, 'd', 'a', 't', 'a',
+	}
+	return newTyped("wav", header, nil, BinaryGenerator{})
+}

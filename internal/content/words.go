@@ -1,0 +1,209 @@
+// Package content generates file content for Impressions images (§3.6 of the
+// paper). Human-readable files can be filled with a single repeated word,
+// with words drawn from a word-popularity model (a Zipf-weighted list of the
+// most popular English words), with synthetic words drawn from a word-length
+// frequency model (Sigurd et al.'s "Zipf revisited" lengths), or with the
+// paper's hybrid of the two: the popularity model supplies the body of common
+// words while the length model generates the long tail. Typed files (jpg,
+// gif, mp3, pdf, html, ...) receive minimally valid headers and footers so
+// content-aware applications can recognize them.
+package content
+
+import (
+	"impressions/internal/stats"
+)
+
+// popularWords lists the most popular English words in decreasing frequency
+// rank. Word popularity follows a Zipf law, so the list is paired with a Zipf
+// rank distribution when sampling. The list covers the high-frequency "body"
+// of English; the long tail is produced by the word-length model.
+var popularWords = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "i",
+	"at", "be", "this", "have", "from", "or", "one", "had", "by", "word",
+	"but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+	"there", "use", "an", "each", "which", "she", "do", "how", "their", "if",
+	"will", "up", "other", "about", "out", "many", "then", "them", "these", "so",
+	"some", "her", "would", "make", "like", "him", "into", "time", "has", "look",
+	"two", "more", "write", "go", "see", "number", "no", "way", "could", "people",
+	"my", "than", "first", "water", "been", "call", "who", "oil", "its", "now",
+	"find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
+	"over", "new", "sound", "take", "only", "little", "work", "know", "place", "year",
+	"live", "me", "back", "give", "most", "very", "after", "thing", "our", "just",
+	"name", "good", "sentence", "man", "think", "say", "great", "where", "help", "through",
+	"much", "before", "line", "right", "too", "mean", "old", "any", "same", "tell",
+	"boy", "follow", "came", "want", "show", "also", "around", "form", "three", "small",
+	"set", "put", "end", "does", "another", "well", "large", "must", "big", "even",
+	"such", "because", "turn", "here", "why", "ask", "went", "men", "read", "need",
+	"land", "different", "home", "us", "move", "try", "kind", "hand", "picture", "again",
+	"change", "off", "play", "spell", "air", "away", "animal", "house", "point", "page",
+	"letter", "mother", "answer", "found", "study", "still", "learn", "should", "america", "world",
+}
+
+// WordModel samples words for generated text content.
+type WordModel interface {
+	// Word returns the next word to emit.
+	Word(rng *stats.RNG) string
+	// Name identifies the model in reproducibility reports.
+	Name() string
+}
+
+// PopularityModel draws words from the popular-word list with Zipf-weighted
+// ranks (the paper's word-popularity model).
+type PopularityModel struct {
+	words []string
+	zipf  stats.Zipf
+}
+
+// NewPopularityModel returns a word-popularity model over the built-in list
+// with Zipf exponent s (1.0 is the classical Zipf law; the paper's model).
+func NewPopularityModel(s float64) *PopularityModel {
+	return &PopularityModel{
+		words: popularWords,
+		zipf:  stats.NewZipf(s, len(popularWords)),
+	}
+}
+
+// NewPopularityModelWithWords builds a popularity model over a caller-
+// supplied ranked word list.
+func NewPopularityModelWithWords(words []string, s float64) *PopularityModel {
+	if len(words) == 0 {
+		words = popularWords
+	}
+	return &PopularityModel{words: words, zipf: stats.NewZipf(s, len(words))}
+}
+
+// Word returns a word with Zipf-distributed rank.
+func (m *PopularityModel) Word(rng *stats.RNG) string {
+	return m.words[m.zipf.SampleInt(rng)-1]
+}
+
+// Name implements WordModel.
+func (m *PopularityModel) Name() string { return "word-popularity" }
+
+// Vocabulary returns the number of distinct words the model can emit.
+func (m *PopularityModel) Vocabulary() int { return len(m.words) }
+
+// LengthModel generates synthetic words whose lengths follow the
+// word-length frequency model of Sigurd et al. (used by the paper to cover
+// the heavy tail of word popularity without keeping an exhaustive word list).
+// The length distribution is a gamma-like discrete curve peaking at 3-4
+// letters; letters are drawn with English letter frequencies.
+type LengthModel struct {
+	lengthDist stats.Categorical
+}
+
+// englishLetters orders letters by frequency; sampling weights follow
+// approximate English letter frequencies.
+var englishLetters = []byte("etaoinshrdlcumwfgypbvkjxqz")
+
+var letterWeights = []float64{
+	12.7, 9.1, 8.2, 7.5, 7.0, 6.7, 6.3, 6.1, 6.0, 4.3, 4.0, 2.8, 2.8, 2.4,
+	2.4, 2.2, 2.0, 2.0, 1.9, 1.5, 1.0, 0.8, 0.2, 0.15, 0.1, 0.07,
+}
+
+// NewLengthModel builds the word-length frequency model.
+func NewLengthModel() *LengthModel {
+	// P(length = k) ∝ k * 0.45^k (discrete gamma-like curve, peak near 3).
+	names := make([]string, 24)
+	weights := make([]float64, 24)
+	p := 1.0
+	for k := 1; k <= 24; k++ {
+		p = float64(k) * pow(0.45, k)
+		names[k-1] = string(rune('0' + k%10))
+		weights[k-1] = p
+	}
+	return &LengthModel{lengthDist: stats.NewCategorical(names, weights)}
+}
+
+func pow(base float64, exp int) float64 {
+	v := 1.0
+	for i := 0; i < exp; i++ {
+		v *= base
+	}
+	return v
+}
+
+// Word returns a synthetic word with model-distributed length.
+func (m *LengthModel) Word(rng *stats.RNG) string {
+	length := m.lengthDist.SampleIndex(rng) + 1
+	buf := make([]byte, length)
+	for i := range buf {
+		buf[i] = sampleLetter(rng)
+	}
+	return string(buf)
+}
+
+// Name implements WordModel.
+func (m *LengthModel) Name() string { return "word-length" }
+
+var letterCategorical = stats.NewCategorical(letterNames(), letterWeights)
+
+func letterNames() []string {
+	names := make([]string, len(englishLetters))
+	for i, c := range englishLetters {
+		names[i] = string(c)
+	}
+	return names
+}
+
+func sampleLetter(rng *stats.RNG) byte {
+	return englishLetters[letterCategorical.SampleIndex(rng)]
+}
+
+// HybridModel combines the popularity model for the body of common words with
+// the length model for the long tail, as §3.6 describes: maintaining an
+// exhaustive word list is slow, so the tail is synthesized instead. TailProb
+// is the probability that any given word comes from the tail.
+type HybridModel struct {
+	Popularity *PopularityModel
+	Length     *LengthModel
+	TailProb   float64
+}
+
+// NewHybridModel builds the hybrid word model with the given tail
+// probability (the paper lets users pick the blend; 0.2 is the default).
+func NewHybridModel(tailProb float64) *HybridModel {
+	if tailProb < 0 {
+		tailProb = 0
+	}
+	if tailProb > 1 {
+		tailProb = 1
+	}
+	return &HybridModel{
+		Popularity: NewPopularityModel(1.0),
+		Length:     NewLengthModel(),
+		TailProb:   tailProb,
+	}
+}
+
+// Word returns the next word from either the popularity body or the
+// synthesized tail.
+func (m *HybridModel) Word(rng *stats.RNG) string {
+	if rng.Float64() < m.TailProb {
+		return m.Length.Word(rng)
+	}
+	return m.Popularity.Word(rng)
+}
+
+// Name implements WordModel.
+func (m *HybridModel) Name() string { return "word-hybrid" }
+
+// SingleWordModel repeats the same word forever; it reproduces the
+// "Text (1 Word)" configuration of Figure 7 and Postmark-style content.
+type SingleWordModel struct{ TheWord string }
+
+// NewSingleWordModel returns a model that always emits word (default
+// "impressions").
+func NewSingleWordModel(word string) *SingleWordModel {
+	if word == "" {
+		word = "impressions"
+	}
+	return &SingleWordModel{TheWord: word}
+}
+
+// Word returns the fixed word.
+func (m *SingleWordModel) Word(*stats.RNG) string { return m.TheWord }
+
+// Name implements WordModel.
+func (m *SingleWordModel) Name() string { return "single-word" }

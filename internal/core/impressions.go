@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"impressions/internal/constraint"
+	"impressions/internal/dataset"
+	"impressions/internal/disk"
+	"impressions/internal/fsimage"
+	"impressions/internal/namespace"
+	"impressions/internal/stats"
+)
+
+// Result bundles everything one generation run produces: the image, the
+// reproducibility report, and (when disk simulation is enabled) the simulated
+// disk holding the image's blocks.
+type Result struct {
+	Image  *fsimage.Image
+	Report fsimage.Report
+	Disk   *disk.Disk
+}
+
+// Generator generates file-system images from a Config. A Generator is
+// stateless between runs apart from its configuration; each Generate call
+// re-seeds its random streams from the config seed so repeated calls with the
+// same config produce identical images.
+type Generator struct {
+	cfg Config
+}
+
+// NewGenerator validates and normalizes the configuration and returns a
+// generator for it.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	normalized, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: normalized}, nil
+}
+
+// Config returns the normalized configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Generate runs the full pipeline and returns the generated image, report,
+// and optional simulated disk.
+func (g *Generator) Generate() (*Result, error) {
+	cfg := g.cfg
+	rng := stats.NewRNG(cfg.Seed)
+	phases := map[string]float64{}
+	res := &Result{}
+
+	// Phase 1: directory structure (namespace skeleton).
+	start := time.Now()
+	tree := namespace.GenerateTree(rng.Fork("namespace"), cfg.NumDirs, cfg.TreeShape)
+	if cfg.UseSpecialDirectories {
+		tree.MarkSpecial(cfg.SpecialDirectories)
+	}
+	phases["directory structure"] = seconds(start)
+
+	// Phase 2: file sizes under the sum constraint (§3.4).
+	start = time.Now()
+	sizes, convergence, err := g.resolveSizes(rng.Fork("sizes"))
+	if err != nil {
+		return nil, err
+	}
+	phases["file sizes distribution"] = seconds(start)
+
+	// Phase 3: extensions from the percentile table.
+	start = time.Now()
+	exts := g.assignExtensions(rng.Fork("extensions"), len(sizes))
+	phases["popular extensions"] = seconds(start)
+
+	// Phase 4: file depths and parent directories (multiplicative model).
+	start = time.Now()
+	img := fsimage.New(tree)
+	placer := namespace.NewPlacer(tree, g.placerConfig(tree), rng.Fork("placement"))
+	for i, size := range sizes {
+		placement := placer.Place(int64(size))
+		name := fsimage.MakeFileName(i, exts[i])
+		img.AddFile(name, normalizeExt(exts[i]), int64(size), placement.DirID, placement.FileDepth)
+	}
+	phases["file and bytes with depth"] = seconds(start)
+
+	// Phase 5: optional on-disk layout simulation (§3.7).
+	achievedLayout := 1.0
+	if cfg.SimulateDisk {
+		start = time.Now()
+		d, score, derr := g.simulateDisk(img, rng.Fork("disk"))
+		if derr != nil {
+			return nil, derr
+		}
+		res.Disk = d
+		achievedLayout = score
+		phases["on-disk layout"] = seconds(start)
+	}
+
+	img.Spec = g.buildSpec()
+	if err := img.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated image failed validation: %w", err)
+	}
+
+	report := fsimage.Report{
+		Spec:                img.Spec,
+		GeneratedAt:         time.Now(),
+		ActualFiles:         img.FileCount(),
+		ActualDirs:          img.DirCount(),
+		ActualBytes:         img.TotalBytes(),
+		AchievedLayoutScore: achievedLayout,
+		Oversamples:         convergence.Oversamples,
+		PhaseTimes:          phases,
+	}
+	if cfg.FSSizeBytes > 0 {
+		report.SumError = math.Abs(float64(img.TotalBytes()-cfg.FSSizeBytes)) / float64(cfg.FSSizeBytes)
+	}
+	res.Image = img
+	res.Report = report
+	return res, nil
+}
+
+// resolveSizes draws the file-size sample under the N / S constraints.
+func (g *Generator) resolveSizes(rng *stats.RNG) ([]float64, constraint.Result, error) {
+	cfg := g.cfg
+	resolver := constraint.NewResolver(rng)
+	problem := constraint.Problem{
+		N:         cfg.NumFiles,
+		TargetSum: float64(cfg.FSSizeBytes),
+		Dist:      cfg.FileSizeDist,
+		Beta:      cfg.Beta,
+		Lambda:    cfg.Lambda,
+	}
+	result, err := resolver.Resolve(problem)
+	if err != nil {
+		return nil, constraint.Result{}, fmt.Errorf("core: resolving file sizes: %w", err)
+	}
+	if !result.Converged {
+		// Fall back to the raw (unconstrained) sample rather than failing:
+		// the user asked for an unusual combination (§3.4 notes far-apart
+		// desired and expected sums may not converge); report the error so
+		// the caller can decide.
+		sizes := stats.SampleN(cfg.FileSizeDist, rng.Fork("fallback"), cfg.NumFiles)
+		roundSizes(sizes)
+		return sizes, result, nil
+	}
+	roundSizes(result.Values)
+	return result.Values, result, nil
+}
+
+// roundSizes rounds sampled sizes to whole non-negative byte counts.
+func roundSizes(sizes []float64) {
+	for i, s := range sizes {
+		if s < 0 {
+			s = 0
+		}
+		sizes[i] = math.Round(s)
+	}
+}
+
+// assignExtensions samples extensions from the dataset's percentile table;
+// files falling in the "others" bucket receive a random three-character
+// extension, exactly as §3.3.2 describes.
+func (g *Generator) assignExtensions(rng *stats.RNG, n int) []string {
+	table := g.cfg.Dataset.ExtensionsByCount()
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		ext := table.SampleName(rng)
+		if ext == "others" {
+			ext = randomExtension(rng)
+		}
+		out[i] = ext
+	}
+	return out
+}
+
+func randomExtension(rng *stats.RNG) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, 3)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func normalizeExt(ext string) string {
+	if ext == "null" {
+		return ""
+	}
+	return ext
+}
+
+// placerConfig builds the namespace placer configuration from the config and
+// dataset.
+func (g *Generator) placerConfig(tree *namespace.Tree) namespace.PlacerConfig {
+	cfg := g.cfg
+	var meanBytes []float64
+	if !cfg.DisableSizeDepthCoupling {
+		meanBytes = cfg.Dataset.MeanBytesByDepth()
+	}
+	maxDepth := 0
+	if cfg.TreeShape == namespace.ShapeDeep {
+		// Deep trees intentionally exceed the Poisson support; allow files at
+		// any depth the tree reaches.
+		maxDepth = tree.MaxDepth() + 1
+	}
+	return namespace.PlacerConfig{
+		DepthModel:            stats.NewPoisson(cfg.FileDepthLambda),
+		MeanBytesByDepth:      meanBytes,
+		DirFileModel:          stats.NewInversePolynomial(cfg.DirFileDegree, cfg.DirFileOffset, 4096),
+		UseSpecialDirectories: cfg.UseSpecialDirectories,
+		MaxDepth:              maxDepth,
+	}
+}
+
+// simulateDisk allocates every file of the image on a simulated block device,
+// fragmenting towards the configured layout score, and returns the disk and
+// the achieved score.
+func (g *Generator) simulateDisk(img *fsimage.Image, rng *stats.RNG) (*disk.Disk, float64, error) {
+	cfg := g.cfg
+	capacity := cfg.DiskCapacityBytes
+	if capacity < img.TotalBytes()*2 {
+		capacity = img.TotalBytes() * 2
+	}
+	d := disk.New(capacity)
+	frag := disk.NewFragmenter(d, cfg.LayoutScore, rng)
+	for _, f := range img.Files {
+		if err := frag.CreateFile(disk.FileID(f.ID), f.Size); err != nil {
+			return nil, 0, fmt.Errorf("core: allocating file %d on simulated disk: %w", f.ID, err)
+		}
+	}
+	frag.Cleanup()
+	return d, d.LayoutScore(), nil
+}
+
+// buildSpec records the reproducibility spec for the configuration.
+func (g *Generator) buildSpec() fsimage.Spec {
+	cfg := g.cfg
+	constraints := map[string]string{}
+	if cfg.FSSizeBytes > 0 {
+		constraints["file system used space"] = fmt.Sprintf("%d bytes (beta=%.2f)", cfg.FSSizeBytes, cfg.Beta)
+	}
+	if cfg.NumFiles > 0 {
+		constraints["number of files"] = fmt.Sprintf("%d", cfg.NumFiles)
+	}
+	if cfg.NumDirs > 0 {
+		constraints["number of directories"] = fmt.Sprintf("%d", cfg.NumDirs)
+	}
+	return fsimage.Spec{
+		Seed:                  cfg.Seed,
+		FSSizeBytes:           cfg.FSSizeBytes,
+		NumFiles:              cfg.NumFiles,
+		NumDirs:               cfg.NumDirs,
+		TreeShape:             cfg.TreeShape.String(),
+		ContentKind:           string(cfg.ContentKind),
+		LayoutScore:           cfg.LayoutScore,
+		UseSpecialDirectories: cfg.UseSpecialDirectories,
+		Distributions:         cfg.DistributionTable(),
+		Constraints:           constraints,
+	}
+}
+
+// GenerateImage is a convenience wrapper: configure, generate, and return the
+// result in one call.
+func GenerateImage(cfg Config) (*Result, error) {
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Generate()
+}
+
+// seconds returns the elapsed wall-clock seconds since start.
+func seconds(start time.Time) float64 { return time.Since(start).Seconds() }
+
+// Dataset returns the dataset backing this generator's defaults.
+func (g *Generator) Dataset() *dataset.Dataset { return g.cfg.Dataset }

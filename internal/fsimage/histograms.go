@@ -1,0 +1,205 @@
+package fsimage
+
+import (
+	"sort"
+	"strings"
+
+	"impressions/internal/stats"
+)
+
+// FilesBySizeHistogram returns the image's files-by-size histogram using
+// power-of-two bins up to 2^maxExp.
+func (img *Image) FilesBySizeHistogram(maxExp int) *stats.Histogram {
+	h := stats.NewPowerOfTwoHistogram(maxExp)
+	for _, f := range img.Files {
+		h.Add(float64(f.Size))
+	}
+	return h
+}
+
+// BytesBySizeHistogram returns the bytes-by-containing-file-size histogram
+// (each file weighted by its size).
+func (img *Image) BytesBySizeHistogram(maxExp int) *stats.Histogram {
+	h := stats.NewPowerOfTwoHistogram(maxExp)
+	for _, f := range img.Files {
+		h.AddWeighted(float64(f.Size), float64(f.Size))
+	}
+	return h
+}
+
+// FilesByDepthHistogram returns per-depth file counts with unit bins
+// 0..maxBins-1 (deeper files pooled into the last bin).
+func (img *Image) FilesByDepthHistogram(maxBins int) *stats.Histogram {
+	h := stats.NewHistogram(stats.UnitEdges(maxBins))
+	for _, f := range img.Files {
+		d := f.Depth
+		if d >= maxBins {
+			d = maxBins - 1
+		}
+		h.Add(float64(d))
+	}
+	return h
+}
+
+// DirsByDepthHistogram returns per-depth directory counts.
+func (img *Image) DirsByDepthHistogram(maxBins int) *stats.Histogram {
+	h := stats.NewHistogram(stats.UnitEdges(maxBins))
+	for _, d := range img.Tree.Dirs {
+		depth := d.Depth
+		if depth >= maxBins {
+			depth = maxBins - 1
+		}
+		h.Add(float64(depth))
+	}
+	return h
+}
+
+// DirsBySubdirHistogram returns directory counts by subdirectory count.
+func (img *Image) DirsBySubdirHistogram(maxBins int) *stats.Histogram {
+	h := stats.NewHistogram(stats.UnitEdges(maxBins))
+	for _, d := range img.Tree.Dirs {
+		n := d.SubdirCount
+		if n >= maxBins {
+			n = maxBins - 1
+		}
+		h.Add(float64(n))
+	}
+	return h
+}
+
+// DirsByFileCountHistogram returns directory counts by contained-file count.
+func (img *Image) DirsByFileCountHistogram(maxBins int) *stats.Histogram {
+	h := stats.NewHistogram(stats.UnitEdges(maxBins))
+	for _, d := range img.Tree.Dirs {
+		n := d.FileCount
+		if n >= maxBins {
+			n = maxBins - 1
+		}
+		h.Add(float64(n))
+	}
+	return h
+}
+
+// MeanBytesByDepth returns the mean file size at each file depth
+// (0..maxBins-1); depths without files report zero.
+func (img *Image) MeanBytesByDepth(maxBins int) []float64 {
+	bytes := make([]float64, maxBins)
+	counts := make([]float64, maxBins)
+	for _, f := range img.Files {
+		d := f.Depth
+		if d >= maxBins {
+			d = maxBins - 1
+		}
+		bytes[d] += float64(f.Size)
+		counts[d]++
+	}
+	out := make([]float64, maxBins)
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = bytes[i] / counts[i]
+		}
+	}
+	return out
+}
+
+// ExtensionShare summarizes the share of files and bytes per extension.
+type ExtensionShare struct {
+	Ext       string
+	Files     int
+	Bytes     int64
+	FileFrac  float64
+	BytesFrac float64
+}
+
+// TopExtensions returns the top n extensions by file count, with an "others"
+// aggregate appended covering the remainder. Extensions are lower-cased and
+// "" is reported as "null", matching the paper's Figure 2(e).
+func (img *Image) TopExtensions(n int) []ExtensionShare {
+	type agg struct {
+		files int
+		bytes int64
+	}
+	byExt := map[string]*agg{}
+	for _, f := range img.Files {
+		ext := strings.ToLower(f.Ext)
+		if ext == "" {
+			ext = "null"
+		}
+		a := byExt[ext]
+		if a == nil {
+			a = &agg{}
+			byExt[ext] = a
+		}
+		a.files++
+		a.bytes += f.Size
+	}
+	shares := make([]ExtensionShare, 0, len(byExt))
+	for ext, a := range byExt {
+		shares = append(shares, ExtensionShare{Ext: ext, Files: a.files, Bytes: a.bytes})
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].Files != shares[j].Files {
+			return shares[i].Files > shares[j].Files
+		}
+		return shares[i].Ext < shares[j].Ext
+	})
+	totalFiles := float64(img.FileCount())
+	totalBytes := float64(img.TotalBytes())
+	var out []ExtensionShare
+	var restFiles int
+	var restBytes int64
+	for i, s := range shares {
+		if i < n {
+			if totalFiles > 0 {
+				s.FileFrac = float64(s.Files) / totalFiles
+			}
+			if totalBytes > 0 {
+				s.BytesFrac = float64(s.Bytes) / totalBytes
+			}
+			out = append(out, s)
+		} else {
+			restFiles += s.Files
+			restBytes += s.Bytes
+		}
+	}
+	others := ExtensionShare{Ext: "others", Files: restFiles, Bytes: restBytes}
+	if totalFiles > 0 {
+		others.FileFrac = float64(restFiles) / totalFiles
+	}
+	if totalBytes > 0 {
+		others.BytesFrac = float64(restBytes) / totalBytes
+	}
+	out = append(out, others)
+	return out
+}
+
+// ExtensionFractions returns the fraction of files carrying each of the named
+// extensions, in order, with any remaining mass reported under "others" as
+// the final element. Extension "null" matches files with no extension.
+func (img *Image) ExtensionFractions(names []string) []float64 {
+	total := float64(img.FileCount())
+	out := make([]float64, len(names)+1)
+	if total == 0 {
+		return out
+	}
+	counted := 0
+	index := map[string]int{}
+	for i, n := range names {
+		index[strings.ToLower(n)] = i
+	}
+	for _, f := range img.Files {
+		ext := strings.ToLower(f.Ext)
+		if ext == "" {
+			ext = "null"
+		}
+		if i, ok := index[ext]; ok {
+			out[i]++
+			counted++
+		}
+	}
+	for i := range names {
+		out[i] /= total
+	}
+	out[len(names)] = float64(img.FileCount()-counted) / total
+	return out
+}

@@ -1,0 +1,97 @@
+package fsimage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"impressions/internal/content"
+	"impressions/internal/stats"
+)
+
+// MaterializeOptions controls how an image is written to a real file system.
+type MaterializeOptions struct {
+	// Registry supplies per-extension content generators. If nil, the default
+	// content policy is used.
+	Registry *content.Registry
+	// Seed drives content generation; the same seed regenerates identical
+	// content. If zero, the image spec's seed is used.
+	Seed int64
+	// MetadataOnly creates directories and empty (truncated to size) files
+	// without writing content, which is much faster and sufficient for
+	// metadata-only studies.
+	MetadataOnly bool
+	// DirPerm and FilePerm are the permissions for created entries.
+	DirPerm  os.FileMode
+	FilePerm os.FileMode
+}
+
+// Materialize writes the image as a real directory tree rooted at root.
+// It returns the number of bytes written.
+func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, error) {
+	if opts.Registry == nil {
+		opts.Registry = content.NewRegistry(content.KindDefault)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = img.Spec.Seed
+	}
+	if opts.DirPerm == 0 {
+		opts.DirPerm = 0o755
+	}
+	if opts.FilePerm == 0 {
+		opts.FilePerm = 0o644
+	}
+	if err := os.MkdirAll(root, opts.DirPerm); err != nil {
+		return 0, fmt.Errorf("fsimage: creating root %q: %w", root, err)
+	}
+	// Create all directories first; the tree stores them in creation order so
+	// parents always precede children.
+	for _, d := range img.Tree.Dirs {
+		if d.ID == 0 {
+			continue
+		}
+		p := filepath.Join(root, filepath.FromSlash(img.Tree.Path(d.ID)))
+		if err := os.MkdirAll(p, opts.DirPerm); err != nil {
+			return 0, fmt.Errorf("fsimage: creating directory %q: %w", p, err)
+		}
+	}
+	rng := stats.NewRNG(opts.Seed).Fork("materialize")
+	var written int64
+	for _, f := range img.Files {
+		p := filepath.Join(root, filepath.FromSlash(img.FilePath(f)))
+		n, err := writeFile(p, f, opts, rng)
+		if err != nil {
+			return written, err
+		}
+		written += n
+	}
+	return written, nil
+}
+
+func writeFile(path string, f File, opts MaterializeOptions, rng *stats.RNG) (int64, error) {
+	fh, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, opts.FilePerm)
+	if err != nil {
+		return 0, fmt.Errorf("fsimage: creating file %q: %w", path, err)
+	}
+	defer fh.Close()
+	if opts.MetadataOnly {
+		if f.Size > 0 {
+			if err := fh.Truncate(f.Size); err != nil {
+				return 0, fmt.Errorf("fsimage: truncating %q: %w", path, err)
+			}
+		}
+		return f.Size, nil
+	}
+	bw := bufio.NewWriterSize(fh, 64*1024)
+	if err := opts.Registry.ForExtension(f.Ext).Generate(bw, f.Size, rng); err != nil {
+		return 0, fmt.Errorf("fsimage: writing content for %q: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, fmt.Errorf("fsimage: flushing %q: %w", path, err)
+	}
+	if err := fh.Close(); err != nil {
+		return 0, fmt.Errorf("fsimage: closing %q: %w", path, err)
+	}
+	return f.Size, nil
+}

@@ -1,0 +1,92 @@
+package fsimage
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"impressions/internal/namespace"
+)
+
+// Scan walks a real directory tree rooted at root and builds an Image from
+// what it finds. It is the inverse of Materialize and also what the fsstat
+// tool uses to report the distributions of an existing file system, so users
+// can feed measured curves back into Impressions.
+func Scan(root string) (*Image, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, fmt.Errorf("fsimage: stat root %q: %w", root, err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("fsimage: root %q is not a directory", root)
+	}
+
+	tree := namespace.GenerateTree(nil, 1, namespace.ShapeFlat)
+	img := New(tree)
+	dirIDs := map[string]int{".": 0}
+
+	// Collect entries in deterministic order: WalkDir visits lexically.
+	type pendingFile struct {
+		rel  string
+		size int64
+	}
+	var files []pendingFile
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		if rel == "." {
+			return nil
+		}
+		rel = filepath.ToSlash(rel)
+		if d.IsDir() {
+			parentRel := parentOf(rel)
+			parentID, ok := dirIDs[parentRel]
+			if !ok {
+				return fmt.Errorf("fsimage: scan saw %q before its parent", rel)
+			}
+			id := tree.AddDir(parentID)
+			tree.Dirs[id].Name = d.Name()
+			dirIDs[rel] = id
+			return nil
+		}
+		fi, ierr := d.Info()
+		if ierr != nil {
+			return ierr
+		}
+		files = append(files, pendingFile{rel: rel, size: fi.Size()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fsimage: scanning %q: %w", root, err)
+	}
+
+	sort.Slice(files, func(i, j int) bool { return files[i].rel < files[j].rel })
+	for _, pf := range files {
+		parentRel := parentOf(pf.rel)
+		parentID, ok := dirIDs[parentRel]
+		if !ok {
+			return nil, fmt.Errorf("fsimage: file %q has no scanned parent", pf.rel)
+		}
+		name := filepath.Base(pf.rel)
+		depth := tree.Dirs[parentID].Depth + 1
+		img.AddFile(name, ExtensionOf(name), pf.size, parentID, depth)
+		tree.Dirs[parentID].FileCount++
+		tree.Dirs[parentID].Bytes += pf.size
+	}
+	return img, nil
+}
+
+func parentOf(rel string) string {
+	dir := filepath.ToSlash(filepath.Dir(rel))
+	if dir == "" {
+		return "."
+	}
+	return dir
+}

@@ -1,0 +1,85 @@
+package fsimage
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"impressions/internal/namespace"
+)
+
+// serializedImage is the on-disk JSON form of an image's metadata.
+type serializedImage struct {
+	Spec  Spec            `json:"spec"`
+	Dirs  []serializedDir `json:"dirs"`
+	Files []File          `json:"files"`
+}
+
+type serializedDir struct {
+	ID      int     `json:"id"`
+	Parent  int     `json:"parent"`
+	Name    string  `json:"name"`
+	Special bool    `json:"special,omitempty"`
+	Bias    float64 `json:"bias,omitempty"`
+}
+
+// Encode writes the image's metadata (tree, files, spec — not file content)
+// as JSON to w. Together with the Spec, the JSON form is sufficient to
+// recreate the image bit-for-bit.
+func (img *Image) Encode(w io.Writer) error {
+	s := serializedImage{Spec: img.Spec, Files: img.Files}
+	s.Dirs = make([]serializedDir, len(img.Tree.Dirs))
+	for i, d := range img.Tree.Dirs {
+		s.Dirs[i] = serializedDir{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&s); err != nil {
+		return fmt.Errorf("fsimage: encoding image: %w", err)
+	}
+	return nil
+}
+
+// Decode reads an image previously written by Encode.
+func Decode(r io.Reader) (*Image, error) {
+	var s serializedImage
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fsimage: decoding image: %w", err)
+	}
+	if len(s.Dirs) == 0 {
+		return nil, fmt.Errorf("fsimage: decoded image has no directories")
+	}
+	// Rebuild the tree by re-adding directories in ID order; this restores
+	// depth, byDepth indexes and subdir counts.
+	tree := namespace.GenerateTree(nil, 1, namespace.ShapeFlat)
+	for _, d := range s.Dirs[1:] {
+		if d.Parent < 0 || d.Parent >= tree.Len() {
+			return nil, fmt.Errorf("fsimage: directory %d has invalid parent %d", d.ID, d.Parent)
+		}
+		id := tree.AddDir(d.Parent)
+		if id != d.ID {
+			return nil, fmt.Errorf("fsimage: directory IDs are not dense (got %d want %d)", id, d.ID)
+		}
+		tree.Dirs[id].Name = d.Name
+		tree.Dirs[id].Special = d.Special
+		tree.Dirs[id].Bias = d.Bias
+	}
+	// Restore root flags.
+	tree.Dirs[0].Name = s.Dirs[0].Name
+	tree.Dirs[0].Special = s.Dirs[0].Special
+	tree.Dirs[0].Bias = s.Dirs[0].Bias
+
+	img := New(tree)
+	img.Spec = s.Spec
+	for _, f := range s.Files {
+		id := img.AddFile(f.Name, f.Ext, f.Size, f.DirID, f.Depth)
+		_ = id
+		tree.Dirs[f.DirID].FileCount++
+		tree.Dirs[f.DirID].Bytes += f.Size
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

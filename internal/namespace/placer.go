@@ -1,0 +1,264 @@
+package namespace
+
+import (
+	"math"
+
+	"impressions/internal/stats"
+)
+
+// PlacerConfig configures how files are assigned namespace depths and parent
+// directories (§3.3.2 of the paper).
+type PlacerConfig struct {
+	// DepthModel is the Poisson model of file count with depth
+	// (Table 2: λ=6.49).
+	DepthModel stats.Poisson
+	// MeanBytesByDepth is the desired mean file size at each depth; it is the
+	// second factor of the multiplicative depth model. May be nil to disable
+	// the size-affinity term.
+	MeanBytesByDepth []float64
+	// DirFileModel is the inverse-polynomial model of directory size in files
+	// (Table 2: degree 2, offset 2.36) used to weight parent choices.
+	DirFileModel stats.InversePolynomial
+	// UseSpecialDirectories applies the Bias of special directories when
+	// choosing parents.
+	UseSpecialDirectories bool
+	// SizeAffinitySigma is the log-space width of the size-affinity factor in
+	// the multiplicative depth model; larger values weaken the coupling
+	// between file size and depth. Zero selects the default of 3.0.
+	SizeAffinitySigma float64
+	// MaxDepth caps file depth (0 means the tree's own max depth + 1).
+	MaxDepth int
+}
+
+// Placer assigns files to directories within a Tree.
+type Placer struct {
+	tree *Tree
+	cfg  PlacerConfig
+	rng  *stats.RNG
+
+	depthPMF     []float64 // Poisson PMF per candidate file depth
+	sigma        float64
+	maxFileDepth int
+
+	// Special directories with explicit file shares (Table 2's conditional
+	// probabilities): a file lands directly in one of them with probability
+	// specialShare, split proportionally to the individual shares.
+	specialIDs   []int
+	specialCum   []float64
+	specialShare float64
+}
+
+// NewPlacer builds a placer over tree. Files are placed at depths 1 through
+// tree.MaxDepth()+1 (a file directly in a directory at depth d has file depth
+// d+1, matching the paper's convention that a file at depth d has its parent
+// directory at depth d−1).
+func NewPlacer(tree *Tree, cfg PlacerConfig, rng *stats.RNG) *Placer {
+	p := &Placer{tree: tree, cfg: cfg, rng: rng}
+	p.sigma = cfg.SizeAffinitySigma
+	if p.sigma <= 0 {
+		p.sigma = 3.0
+	}
+	p.maxFileDepth = cfg.MaxDepth
+	if p.maxFileDepth <= 0 {
+		p.maxFileDepth = tree.MaxDepth() + 1
+	}
+	if p.maxFileDepth < 1 {
+		p.maxFileDepth = 1
+	}
+	p.depthPMF = make([]float64, p.maxFileDepth+1)
+	for d := 1; d <= p.maxFileDepth; d++ {
+		p.depthPMF[d] = cfg.DepthModel.PMF(d)
+		if p.depthPMF[d] <= 0 {
+			p.depthPMF[d] = 1e-12
+		}
+	}
+	if cfg.UseSpecialDirectories {
+		acc := 0.0
+		for _, id := range tree.SpecialDirs() {
+			share := tree.Dirs[id].FileShare
+			if share <= 0 {
+				continue
+			}
+			acc += share
+			p.specialIDs = append(p.specialIDs, id)
+			p.specialCum = append(p.specialCum, acc)
+		}
+		if acc > 0.95 {
+			acc = 0.95 // leave room for the regular namespace
+		}
+		p.specialShare = acc
+	}
+	return p
+}
+
+// Placement describes where a file was placed.
+type Placement struct {
+	// DirID is the parent directory's ID.
+	DirID int
+	// FileDepth is the file's namespace depth (parent depth + 1).
+	FileDepth int
+}
+
+// Place assigns a file of the given size to a directory and returns the
+// placement. The parent directory's FileCount and Bytes are updated so
+// subsequent placements see the new state.
+func (p *Placer) Place(size int64) Placement {
+	// Special directories with explicit file shares absorb their fraction of
+	// files directly (Table 2's conditional probabilities for special dirs).
+	if p.specialShare > 0 && p.rng.Float64() < p.specialShare {
+		u := p.rng.Float64() * p.specialCum[len(p.specialCum)-1]
+		idx := 0
+		for idx < len(p.specialCum)-1 && p.specialCum[idx] < u {
+			idx++
+		}
+		dirID := p.specialIDs[idx]
+		p.tree.Dirs[dirID].FileCount++
+		p.tree.Dirs[dirID].Bytes += size
+		return Placement{DirID: dirID, FileDepth: p.tree.Dirs[dirID].Depth + 1}
+	}
+	depth := p.chooseDepth(size)
+	dirID := p.chooseParent(depth - 1)
+	p.tree.Dirs[dirID].FileCount++
+	p.tree.Dirs[dirID].Bytes += size
+	return Placement{DirID: dirID, FileDepth: depth}
+}
+
+// chooseDepth implements the multiplicative depth model: the probability of
+// file depth d is proportional to PoissonPMF(d) multiplied by a lognormal
+// affinity between the file's size and the desired mean bytes per file at
+// that depth. Only depths with at least one candidate parent directory are
+// considered.
+func (p *Placer) chooseDepth(size int64) int {
+	weights := make([]float64, p.maxFileDepth+1)
+	total := 0.0
+	logSize := math.Log(float64(size) + 1)
+	for d := 1; d <= p.maxFileDepth; d++ {
+		if len(p.tree.DirsAtDepth(d-1)) == 0 {
+			continue
+		}
+		w := p.depthPMF[d]
+		if p.cfg.MeanBytesByDepth != nil {
+			mean := p.meanBytesAt(d)
+			diff := logSize - math.Log(mean+1)
+			w *= math.Exp(-diff * diff / (2 * p.sigma * p.sigma))
+		}
+		weights[d] = w
+		total += w
+	}
+	if total <= 0 {
+		// Fall back to the shallowest depth that has a parent.
+		for d := 1; d <= p.maxFileDepth; d++ {
+			if len(p.tree.DirsAtDepth(d-1)) > 0 {
+				return d
+			}
+		}
+		return 1
+	}
+	target := p.rng.Float64() * total
+	acc := 0.0
+	for d := 1; d <= p.maxFileDepth; d++ {
+		acc += weights[d]
+		if target < acc {
+			return d
+		}
+	}
+	return p.maxFileDepth
+}
+
+func (p *Placer) meanBytesAt(depth int) float64 {
+	if len(p.cfg.MeanBytesByDepth) == 0 {
+		return 1
+	}
+	if depth >= len(p.cfg.MeanBytesByDepth) {
+		return p.cfg.MeanBytesByDepth[len(p.cfg.MeanBytesByDepth)-1]
+	}
+	return p.cfg.MeanBytesByDepth[depth]
+}
+
+// chooseParent selects a directory at the given depth, weighting each
+// candidate by the inverse-polynomial model of its current file count and,
+// when enabled, the special-directory bias.
+func (p *Placer) chooseParent(dirDepth int) int {
+	candidates := p.tree.DirsAtDepth(dirDepth)
+	if len(candidates) == 0 {
+		// Walk up until a populated depth is found; the root always exists.
+		for d := dirDepth - 1; d >= 0; d-- {
+			if c := p.tree.DirsAtDepth(d); len(c) > 0 {
+				candidates = c
+				break
+			}
+		}
+		if len(candidates) == 0 {
+			return 0
+		}
+	}
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	total := 0.0
+	weights := make([]float64, len(candidates))
+	for i, id := range candidates {
+		dir := &p.tree.Dirs[id]
+		w := p.cfg.DirFileModel.Weight(dir.FileCount)
+		if p.cfg.UseSpecialDirectories && dir.Special {
+			w *= dir.Bias
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		return candidates[p.rng.Intn(len(candidates))]
+	}
+	target := p.rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return candidates[i]
+		}
+	}
+	return candidates[len(candidates)-1]
+}
+
+// FileDepthHistogram returns per-depth file counts accumulated in the tree
+// (bins 0..maxBins-1, deeper files pooled into the last bin). A file's depth
+// is its parent directory depth + 1.
+func FileDepthHistogram(t *Tree, maxBins int) []float64 {
+	out := make([]float64, maxBins)
+	for _, d := range t.Dirs {
+		if d.FileCount == 0 {
+			continue
+		}
+		bin := d.Depth + 1
+		if bin >= maxBins {
+			bin = maxBins - 1
+		}
+		out[bin] += float64(d.FileCount)
+	}
+	return out
+}
+
+// MeanBytesPerFileByDepth returns the mean file size at each file depth
+// (0..maxBins-1) accumulated in the tree; depths with no files report zero.
+func MeanBytesPerFileByDepth(t *Tree, maxBins int) []float64 {
+	bytes := make([]float64, maxBins)
+	files := make([]float64, maxBins)
+	for _, d := range t.Dirs {
+		if d.FileCount == 0 {
+			continue
+		}
+		bin := d.Depth + 1
+		if bin >= maxBins {
+			bin = maxBins - 1
+		}
+		bytes[bin] += float64(d.Bytes)
+		files[bin] += float64(d.FileCount)
+	}
+	out := make([]float64, maxBins)
+	for i := range out {
+		if files[i] > 0 {
+			out[i] = bytes[i] / files[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Package search implements two simulated desktop-search engines used by the
+// paper's case study (§4): BeagleSim stands in for the open-source Beagle
+// indexer and GDLSim for Google Desktop for Linux. Both crawl a generated
+// file-system image, apply their documented indexing policies (depth cutoffs,
+// per-type size cutoffs, filter sets), tokenize generated content into a real
+// inverted index, and report index size and simulated indexing time. The
+// engines exist so that the image-sensitivity experiments of Figures 6, 7 and
+// 8 can be reproduced without the closed-source originals (see DESIGN.md §1).
+package search
+
+import (
+	"sort"
+
+	"impressions/internal/stats"
+)
+
+// InvertedIndex is a term -> postings-count index with enough bookkeeping to
+// estimate its serialized size. It deliberately models only what the case
+// study measures: how index size responds to file content and indexing
+// policy.
+type InvertedIndex struct {
+	postings map[string]int64 // term -> number of occurrences indexed
+	docs     int64            // number of documents added
+	// positional indicates term positions are stored (larger postings).
+	positional bool
+	// bytesPerPosting is the estimated serialized size of one posting entry.
+	bytesPerPosting float64
+	// attributeBytes accounts for per-document metadata (name, mtime, ...).
+	attributeBytes int64
+	// cacheBytes accounts for stored text-cache snippets (Beagle TextCache).
+	cacheBytes int64
+}
+
+// NewInvertedIndex returns an empty index. Positional indexes store term
+// positions and therefore use more bytes per posting.
+func NewInvertedIndex(positional bool) *InvertedIndex {
+	// Posting sizes reflect compressed on-disk postings: a delta-encoded
+	// docID costs well under a byte per occurrence amortized, positions
+	// roughly double that.
+	bpp := 0.5
+	if positional {
+		bpp = 1.2
+	}
+	return &InvertedIndex{
+		postings:        make(map[string]int64),
+		positional:      positional,
+		bytesPerPosting: bpp,
+	}
+}
+
+// AddTerm records one occurrence of a term.
+func (ix *InvertedIndex) AddTerm(term string) {
+	if term == "" {
+		return
+	}
+	ix.postings[term]++
+}
+
+// AddDocument records per-document attribute overhead (file name, metadata).
+func (ix *InvertedIndex) AddDocument(attrBytes int64) {
+	ix.docs++
+	ix.attributeBytes += attrBytes
+}
+
+// AddCache records stored text-cache bytes for snippet display.
+func (ix *InvertedIndex) AddCache(n int64) { ix.cacheBytes += n }
+
+// Terms returns the number of distinct terms.
+func (ix *InvertedIndex) Terms() int { return len(ix.postings) }
+
+// Documents returns the number of documents added.
+func (ix *InvertedIndex) Documents() int64 { return ix.docs }
+
+// Postings returns the total number of postings.
+func (ix *InvertedIndex) Postings() int64 {
+	var total int64
+	for _, n := range ix.postings {
+		total += n
+	}
+	return total
+}
+
+// SizeBytes estimates the serialized size of the index: the term dictionary,
+// the posting lists, per-document attributes, and any text cache.
+func (ix *InvertedIndex) SizeBytes() int64 {
+	var dict int64
+	for term := range ix.postings {
+		dict += int64(len(term)) + 12 // term bytes + dictionary entry overhead
+	}
+	postings := int64(float64(ix.Postings()) * ix.bytesPerPosting)
+	return dict + postings + ix.attributeBytes + ix.cacheBytes
+}
+
+// TopTerms returns the n most frequent terms (for tests and debugging).
+func (ix *InvertedIndex) TopTerms(n int) []string {
+	type tc struct {
+		term  string
+		count int64
+	}
+	all := make([]tc, 0, len(ix.postings))
+	for t, c := range ix.postings {
+		all = append(all, tc{t, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].term < all[j].term
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].term
+	}
+	return out
+}
+
+// tokenizingWriter feeds written bytes through a simple whitespace/punctuation
+// tokenizer straight into an index, so content can be generated and indexed
+// without buffering whole files.
+type tokenizingWriter struct {
+	ix      *InvertedIndex
+	current []byte
+	written int64
+}
+
+func newTokenizingWriter(ix *InvertedIndex) *tokenizingWriter {
+	return &tokenizingWriter{ix: ix}
+}
+
+// Write implements io.Writer.
+func (t *tokenizingWriter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if isWordByte(b) {
+			if len(t.current) < 64 {
+				t.current = append(t.current, toLower(b))
+			}
+		} else if len(t.current) > 0 {
+			t.ix.AddTerm(string(t.current))
+			t.current = t.current[:0]
+		}
+	}
+	t.written += int64(len(p))
+	return len(p), nil
+}
+
+// Flush indexes any trailing partial token.
+func (t *tokenizingWriter) Flush() {
+	if len(t.current) > 0 {
+		t.ix.AddTerm(string(t.current))
+		t.current = t.current[:0]
+	}
+}
+
+func isWordByte(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+func toLower(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}
+
+// sampleRNG is a tiny helper giving engines their own deterministic stream.
+func sampleRNG(seed int64, label string) *stats.RNG {
+	return stats.NewRNG(seed).Fork("search/" + label)
+}

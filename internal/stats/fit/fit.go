@@ -1,0 +1,255 @@
+// Package fit provides the automatic curve-fitting machinery Impressions uses
+// when a user supplies an empirical file-system dataset instead of a
+// parametric model (§3.2 of the paper): maximum-likelihood lognormal fits,
+// Pareto tail fits, polynomial least squares, and a simple two-component
+// lognormal mixture fit.
+package fit
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"impressions/internal/stats"
+)
+
+// ErrInsufficientData is returned when a fit is attempted with too few
+// observations.
+var ErrInsufficientData = errors.New("fit: insufficient data")
+
+// Lognormal fits a lognormal distribution to positive samples by maximum
+// likelihood (mean and standard deviation of the log-transformed data).
+// Non-positive samples are ignored; at least two positive samples are
+// required.
+func Lognormal(samples []float64) (stats.Lognormal, error) {
+	logs := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if v > 0 {
+			logs = append(logs, math.Log(v))
+		}
+	}
+	if len(logs) < 2 {
+		return stats.Lognormal{}, ErrInsufficientData
+	}
+	mu := stats.Mean(logs)
+	sigma := stats.StdDev(logs)
+	if sigma <= 0 || math.IsNaN(sigma) {
+		return stats.Lognormal{}, errors.New("fit: degenerate lognormal (zero variance)")
+	}
+	return stats.NewLognormal(mu, sigma), nil
+}
+
+// ParetoTail fits a Pareto distribution to the samples that exceed the given
+// threshold xm, using the Hill maximum-likelihood estimator for the shape.
+func ParetoTail(samples []float64, xm float64) (stats.Pareto, error) {
+	if xm <= 0 {
+		return stats.Pareto{}, errors.New("fit: pareto threshold must be positive")
+	}
+	sumLog := 0.0
+	n := 0
+	for _, v := range samples {
+		if v >= xm && v > 0 {
+			sumLog += math.Log(v / xm)
+			n++
+		}
+	}
+	if n < 2 || sumLog <= 0 {
+		return stats.Pareto{}, ErrInsufficientData
+	}
+	k := float64(n) / sumLog
+	return stats.NewPareto(k, xm), nil
+}
+
+// Hybrid fits the paper's hybrid file-size model: a lognormal body for
+// samples below tailThreshold and a Pareto tail above it, with the body
+// weight set to the observed fraction of samples below the threshold.
+func Hybrid(samples []float64, tailThreshold float64) (stats.Hybrid, error) {
+	if len(samples) < 4 {
+		return stats.Hybrid{}, ErrInsufficientData
+	}
+	var body, tail []float64
+	for _, v := range samples {
+		if v >= tailThreshold {
+			tail = append(tail, v)
+		} else {
+			body = append(body, v)
+		}
+	}
+	ln, err := Lognormal(body)
+	if err != nil {
+		return stats.Hybrid{}, err
+	}
+	var pareto stats.Pareto
+	if len(tail) >= 2 {
+		pareto, err = ParetoTail(tail, tailThreshold)
+		if err != nil {
+			pareto = stats.NewPareto(0.91, tailThreshold)
+		}
+	} else {
+		// Too few tail observations to fit; fall back to the paper's default
+		// shape at the requested threshold.
+		pareto = stats.NewPareto(0.91, tailThreshold)
+	}
+	weight := float64(len(body)) / float64(len(samples))
+	if weight <= 0 {
+		weight = 0.5
+	}
+	if weight > 1 {
+		weight = 1
+	}
+	return stats.NewHybrid(ln, pareto, weight), nil
+}
+
+// Polynomial fits a least-squares polynomial of the given degree to the
+// points (xs[i], ys[i]) and returns the coefficients c[0..degree] such that
+// y ≈ c[0] + c[1] x + ... + c[degree] x^degree.
+func Polynomial(xs, ys []float64, degree int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("fit: x and y lengths differ")
+	}
+	if degree < 0 {
+		return nil, errors.New("fit: negative degree")
+	}
+	if len(xs) < degree+1 {
+		return nil, ErrInsufficientData
+	}
+	m := degree + 1
+	// Normal equations: (V^T V) c = V^T y where V is the Vandermonde matrix.
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m+1)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			s := 0.0
+			for k := range xs {
+				s += math.Pow(xs[k], float64(i+j))
+			}
+			a[i][j] = s
+		}
+		s := 0.0
+		for k := range xs {
+			s += ys[k] * math.Pow(xs[k], float64(i))
+		}
+		a[i][m] = s
+	}
+	coef, err := solveGauss(a)
+	if err != nil {
+		return nil, err
+	}
+	return coef, nil
+}
+
+// EvalPolynomial evaluates the polynomial with coefficients c at x.
+func EvalPolynomial(c []float64, x float64) float64 {
+	y := 0.0
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*x + c[i]
+	}
+	return y
+}
+
+// solveGauss solves the augmented linear system a (m x m+1) by Gaussian
+// elimination with partial pivoting.
+func solveGauss(a [][]float64) ([]float64, error) {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, errors.New("fit: singular system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate.
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= m; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		s := a[r][m]
+		for c := r + 1; c < m; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// LognormalMixture2 fits a two-component lognormal mixture to positive
+// samples with a small fixed-iteration EM in log space. It is used to model
+// the bimodal bytes-by-containing-file-size curve (Table 2).
+func LognormalMixture2(samples []float64, iters int) (stats.Mixture, error) {
+	logs := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if v > 0 {
+			logs = append(logs, math.Log(v))
+		}
+	}
+	if len(logs) < 4 {
+		return stats.Mixture{}, ErrInsufficientData
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	sort.Float64s(logs)
+	n := len(logs)
+	// Initialize from the lower and upper halves.
+	mu1 := stats.Mean(logs[:n/2])
+	mu2 := stats.Mean(logs[n/2:])
+	s1 := math.Max(stats.StdDev(logs[:n/2]), 0.1)
+	s2 := math.Max(stats.StdDev(logs[n/2:]), 0.1)
+	w1 := 0.5
+
+	resp := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		// E-step.
+		for i, x := range logs {
+			p1 := w1 * normPDF(x, mu1, s1)
+			p2 := (1 - w1) * normPDF(x, mu2, s2)
+			if p1+p2 == 0 {
+				resp[i] = 0.5
+			} else {
+				resp[i] = p1 / (p1 + p2)
+			}
+		}
+		// M-step.
+		var sumR, sumX1, sumX2 float64
+		for i, x := range logs {
+			sumR += resp[i]
+			sumX1 += resp[i] * x
+			sumX2 += (1 - resp[i]) * x
+		}
+		if sumR < 1e-9 || float64(n)-sumR < 1e-9 {
+			break
+		}
+		mu1 = sumX1 / sumR
+		mu2 = sumX2 / (float64(n) - sumR)
+		var v1, v2 float64
+		for i, x := range logs {
+			v1 += resp[i] * (x - mu1) * (x - mu1)
+			v2 += (1 - resp[i]) * (x - mu2) * (x - mu2)
+		}
+		s1 = math.Max(math.Sqrt(v1/sumR), 1e-3)
+		s2 = math.Max(math.Sqrt(v2/(float64(n)-sumR)), 1e-3)
+		w1 = sumR / float64(n)
+	}
+	return stats.NewLognormalMixture(
+		[]float64{w1, 1 - w1},
+		[]float64{mu1, mu2},
+		[]float64{s1, s2},
+	), nil
+}
+
+func normPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+}

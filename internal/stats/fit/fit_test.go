@@ -1,0 +1,163 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"impressions/internal/stats"
+)
+
+func TestLognormalFitRecoversParameters(t *testing.T) {
+	truth := stats.NewLognormal(9.48, 2.46)
+	rng := stats.NewRNG(1)
+	samples := stats.SampleN(truth, rng, 50000)
+	fitted, err := Lognormal(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitted.Mu-9.48) > 0.05 {
+		t.Errorf("fitted mu %.3f, want ~9.48", fitted.Mu)
+	}
+	if math.Abs(fitted.Sigma-2.46) > 0.05 {
+		t.Errorf("fitted sigma %.3f, want ~2.46", fitted.Sigma)
+	}
+}
+
+func TestLognormalFitIgnoresNonPositive(t *testing.T) {
+	samples := []float64{-1, 0, math.E, math.E, math.E, math.E * math.E}
+	fitted, err := Lognormal(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.Mu < 1 || fitted.Mu > 2 {
+		t.Errorf("fitted mu %.3f outside [1,2]", fitted.Mu)
+	}
+}
+
+func TestLognormalFitErrors(t *testing.T) {
+	if _, err := Lognormal([]float64{1}); err == nil {
+		t.Error("expected error for a single sample")
+	}
+	if _, err := Lognormal([]float64{5, 5, 5}); err == nil {
+		t.Error("expected error for zero-variance data")
+	}
+}
+
+func TestParetoTailFitRecoversShape(t *testing.T) {
+	truth := stats.NewPareto(0.91, 512)
+	rng := stats.NewRNG(2)
+	samples := stats.SampleN(truth, rng, 50000)
+	fitted, err := ParetoTail(samples, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitted.K-0.91) > 0.03 {
+		t.Errorf("fitted k %.3f, want ~0.91", fitted.K)
+	}
+	if fitted.Xm != 512 {
+		t.Errorf("fitted xm %g, want 512", fitted.Xm)
+	}
+}
+
+func TestParetoTailErrors(t *testing.T) {
+	if _, err := ParetoTail([]float64{600}, 512); err == nil {
+		t.Error("expected error with a single tail observation")
+	}
+	if _, err := ParetoTail([]float64{600, 700}, 0); err == nil {
+		t.Error("expected error for non-positive threshold")
+	}
+}
+
+func TestHybridFit(t *testing.T) {
+	truth := stats.NewHybrid(stats.NewLognormal(9.48, 2.46), stats.NewPareto(0.91, 512*1024*1024), 0.995)
+	rng := stats.NewRNG(3)
+	samples := stats.SampleN(truth, rng, 40000)
+	fitted, err := Hybrid(samples, 512*1024*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitted.BodyWeight-0.995) > 0.01 {
+		t.Errorf("fitted body weight %.4f, want ~0.995", fitted.BodyWeight)
+	}
+	if math.Abs(fitted.Body.Mu-9.48) > 0.2 {
+		t.Errorf("fitted body mu %.3f, want ~9.48", fitted.Body.Mu)
+	}
+}
+
+func TestHybridFitFewTailSamples(t *testing.T) {
+	// With no tail observations, the fit falls back to the paper's default
+	// tail shape but must still succeed.
+	rng := stats.NewRNG(4)
+	samples := stats.SampleN(stats.NewLognormal(5, 1), rng, 5000)
+	fitted, err := Hybrid(samples, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.Tail.K != 0.91 {
+		t.Errorf("expected default tail shape 0.91, got %g", fitted.Tail.K)
+	}
+}
+
+func TestPolynomialFitExact(t *testing.T) {
+	// y = 2 + 3x - x^2 fitted from exact points.
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + 3*x - x*x
+	}
+	coef, err := Polynomial(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(coef[i]-want[i]) > 1e-8 {
+			t.Errorf("coef[%d] = %g, want %g", i, coef[i], want[i])
+		}
+	}
+	if y := EvalPolynomial(coef, 5); math.Abs(y-(2+15-25)) > 1e-8 {
+		t.Errorf("EvalPolynomial(5) = %g", y)
+	}
+}
+
+func TestPolynomialErrors(t *testing.T) {
+	if _, err := Polynomial([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := Polynomial([]float64{1, 2}, []float64{1, 2}, 3); err == nil {
+		t.Error("expected insufficient-data error")
+	}
+	if _, err := Polynomial([]float64{1, 1, 1}, []float64{1, 2, 3}, 2); err == nil {
+		t.Error("expected singular-system error for repeated x values")
+	}
+}
+
+func TestLognormalMixture2SeparatesModes(t *testing.T) {
+	truth := stats.NewLognormalMixture([]float64{0.7, 0.3}, []float64{5, 12}, []float64{1, 1})
+	rng := stats.NewRNG(5)
+	samples := stats.SampleN(truth, rng, 30000)
+	fitted, err := LognormalMixture2(samples, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitted.Components) != 2 {
+		t.Fatalf("expected 2 components, got %d", len(fitted.Components))
+	}
+	mus := []float64{}
+	for _, c := range fitted.Components {
+		mus = append(mus, c.Dist.(stats.Lognormal).Mu)
+	}
+	lo, hi := math.Min(mus[0], mus[1]), math.Max(mus[0], mus[1])
+	if math.Abs(lo-5) > 0.6 {
+		t.Errorf("lower mode mu %.2f, want ~5", lo)
+	}
+	if math.Abs(hi-12) > 0.6 {
+		t.Errorf("upper mode mu %.2f, want ~12", hi)
+	}
+}
+
+func TestLognormalMixture2Errors(t *testing.T) {
+	if _, err := LognormalMixture2([]float64{1, 2}, 10); err == nil {
+		t.Error("expected error for too few samples")
+	}
+}

@@ -1,0 +1,65 @@
+package gof
+
+import (
+	"math"
+	"sort"
+)
+
+// ADResult reports the outcome of an Anderson-Darling test against a fully
+// specified continuous distribution.
+type ADResult struct {
+	A2       float64 // the A^2 statistic
+	Critical float64 // critical value at the requested significance
+	Passed   bool    // true if A2 <= Critical
+}
+
+// AndersonDarling runs the Anderson-Darling goodness-of-fit test of sample
+// against the theoretical CDF at significance alpha. Supported alphas are
+// 0.10, 0.05, 0.025, 0.01 (case 0: fully specified distribution); other
+// alphas fall back to the 0.05 critical value.
+func AndersonDarling(sample []float64, cdf func(float64) float64, alpha float64) (ADResult, error) {
+	n := len(sample)
+	if n == 0 {
+		return ADResult{}, ErrNoData
+	}
+	s := make([]float64, n)
+	copy(s, sample)
+	sort.Float64s(s)
+
+	sum := 0.0
+	fn := float64(n)
+	for i := 0; i < n; i++ {
+		fi := clampProb(cdf(s[i]))
+		fni := clampProb(cdf(s[n-1-i]))
+		sum += (2*float64(i) + 1) * (math.Log(fi) + math.Log(1-fni))
+	}
+	a2 := -fn - sum/fn
+
+	crit := adCritical(alpha)
+	return ADResult{A2: a2, Critical: crit, Passed: a2 <= crit}, nil
+}
+
+// adCritical returns case-0 critical values for the A^2 statistic.
+func adCritical(alpha float64) float64 {
+	switch {
+	case alpha >= 0.10:
+		return 1.933
+	case alpha >= 0.05:
+		return 2.492
+	case alpha >= 0.025:
+		return 3.070
+	default:
+		return 3.857
+	}
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

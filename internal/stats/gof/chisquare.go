@@ -1,0 +1,139 @@
+package gof
+
+import (
+	"errors"
+	"math"
+)
+
+// ChiSquareResult reports the outcome of a Chi-Square goodness-of-fit test.
+type ChiSquareResult struct {
+	Statistic float64 // sum over bins of (observed-expected)^2/expected
+	DoF       int     // degrees of freedom
+	PValue    float64 // P(X^2 >= Statistic)
+	Passed    bool    // true if PValue >= alpha
+}
+
+// ErrMismatchedBins is returned when observed and expected have different
+// lengths.
+var ErrMismatchedBins = errors.New("gof: observed and expected bin counts differ in length")
+
+// ChiSquare runs Pearson's Chi-Square test comparing observed bin counts to
+// expected bin counts at the given significance level. Bins whose expected
+// count is below minExpected are pooled into their neighbor to keep the
+// approximation valid (the usual rule of thumb is 5).
+func ChiSquare(observed, expected []float64, alpha float64, minExpected float64) (ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquareResult{}, ErrMismatchedBins
+	}
+	if len(observed) == 0 {
+		return ChiSquareResult{}, ErrNoData
+	}
+	if minExpected <= 0 {
+		minExpected = 5
+	}
+	// Pool sparse bins left to right.
+	var obs, exp []float64
+	var oAcc, eAcc float64
+	for i := range observed {
+		oAcc += observed[i]
+		eAcc += expected[i]
+		if eAcc >= minExpected {
+			obs = append(obs, oAcc)
+			exp = append(exp, eAcc)
+			oAcc, eAcc = 0, 0
+		}
+	}
+	if eAcc > 0 || oAcc > 0 {
+		if len(exp) > 0 {
+			obs[len(obs)-1] += oAcc
+			exp[len(exp)-1] += eAcc
+		} else {
+			obs = append(obs, oAcc)
+			exp = append(exp, eAcc)
+		}
+	}
+	if len(obs) < 2 {
+		// Everything pooled into one bin: the test is vacuous, treat as pass.
+		return ChiSquareResult{Statistic: 0, DoF: 0, PValue: 1, Passed: true}, nil
+	}
+	stat := 0.0
+	for i := range obs {
+		if exp[i] <= 0 {
+			continue
+		}
+		d := obs[i] - exp[i]
+		stat += d * d / exp[i]
+	}
+	dof := len(obs) - 1
+	p := ChiSquareSurvival(stat, float64(dof))
+	return ChiSquareResult{Statistic: stat, DoF: dof, PValue: p, Passed: p >= alpha}, nil
+}
+
+// ChiSquareSurvival returns P(X >= x) for a chi-square distribution with k
+// degrees of freedom, via the regularized upper incomplete gamma function.
+func ChiSquareSurvival(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperIncompleteGammaRegularized(k/2, x/2)
+}
+
+// upperIncompleteGammaRegularized computes Q(a, x) = Γ(a,x)/Γ(a) using the
+// series expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes, gammp/gammq).
+func upperIncompleteGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerGammaSeries(a, x)
+	}
+	return upperGammaContinuedFraction(a, x)
+}
+
+func lowerGammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-14 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func upperGammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

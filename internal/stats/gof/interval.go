@@ -1,0 +1,140 @@
+package gof
+
+import (
+	"math"
+	"sort"
+)
+
+// ConfidenceInterval is a two-sided confidence interval around a mean.
+type ConfidenceInterval struct {
+	Mean  float64
+	Lower float64
+	Upper float64
+	Level float64 // e.g. 0.95
+}
+
+// MeanCI returns the normal-approximation confidence interval for the mean of
+// sample at the given confidence level (e.g. 0.95). For small samples this is
+// a z-interval, which is what Impressions uses for its error estimates.
+func MeanCI(sample []float64, level float64) (ConfidenceInterval, error) {
+	if len(sample) == 0 {
+		return ConfidenceInterval{}, ErrNoData
+	}
+	mean := 0.0
+	for _, v := range sample {
+		mean += v
+	}
+	mean /= float64(len(sample))
+
+	variance := 0.0
+	for _, v := range sample {
+		d := v - mean
+		variance += d * d
+	}
+	if len(sample) > 1 {
+		variance /= float64(len(sample) - 1)
+	}
+	se := math.Sqrt(variance / float64(len(sample)))
+	z := normQuantile(0.5 + level/2)
+	return ConfidenceInterval{
+		Mean:  mean,
+		Lower: mean - z*se,
+		Upper: mean + z*se,
+		Level: level,
+	}, nil
+}
+
+// StandardError returns the standard error of the mean of sample.
+func StandardError(sample []float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, ErrNoData
+	}
+	mean := 0.0
+	for _, v := range sample {
+		mean += v
+	}
+	mean /= float64(len(sample))
+	variance := 0.0
+	for _, v := range sample {
+		d := v - mean
+		variance += d * d
+	}
+	if len(sample) > 1 {
+		variance /= float64(len(sample) - 1)
+	}
+	return math.Sqrt(variance / float64(len(sample))), nil
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// statistic stat over sample, using iters resampling iterations and the
+// supplied deterministic uniform source (a func returning values in [0,1)).
+func BootstrapCI(sample []float64, level float64, iters int, stat func([]float64) float64, uniform func() float64) (ConfidenceInterval, error) {
+	if len(sample) == 0 {
+		return ConfidenceInterval{}, ErrNoData
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	stats := make([]float64, iters)
+	resample := make([]float64, len(sample))
+	for it := 0; it < iters; it++ {
+		for i := range resample {
+			resample[i] = sample[int(uniform()*float64(len(sample)))%len(sample)]
+		}
+		stats[it] = stat(resample)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(iters))
+	hiIdx := int((1 - alpha) * float64(iters))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return ConfidenceInterval{
+		Mean:  stat(sample),
+		Lower: stats[loIdx],
+		Upper: stats[hiIdx],
+		Level: level,
+	}, nil
+}
+
+// normQuantile duplicates the Acklam approximation locally to avoid an import
+// cycle with the parent stats package.
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	const phigh = 1 - plow
+	var q, r, x float64
+	switch {
+	case p < plow:
+		q = math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q = p - 0.5
+		r = q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q = math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	return x
+}

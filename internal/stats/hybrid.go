@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hybrid is the hybrid file-size model used by Impressions (§3.3.2 of the
+// paper): a lognormal body with probability BodyWeight (α1) and a Pareto tail
+// with probability 1−BodyWeight for files larger than the tail threshold.
+//
+// Table 2 defaults: α1=0.99994, lognormal(µ=9.48, σ=2.46),
+// Pareto tail (k=0.91, Xm=512 MB).
+type Hybrid struct {
+	Body       Lognormal
+	Tail       Pareto
+	BodyWeight float64 // α1: probability a sample comes from the body
+	// Cap, when positive, bounds individual samples (tail draws above the cap
+	// are redrawn, then clamped). Real file-system datasets have a finite
+	// largest file, and an uncapped Pareto with k<1 would otherwise let a
+	// single sample dominate every byte-weighted statistic.
+	Cap float64
+}
+
+// NewHybrid constructs a hybrid lognormal-body / Pareto-tail distribution.
+// bodyWeight must lie in (0, 1].
+func NewHybrid(body Lognormal, tail Pareto, bodyWeight float64) Hybrid {
+	if bodyWeight <= 0 || bodyWeight > 1 {
+		panic("stats: hybrid body weight must be in (0,1]")
+	}
+	return Hybrid{Body: body, Tail: tail, BodyWeight: bodyWeight}
+}
+
+// Sample draws from the body with probability BodyWeight and otherwise from
+// the Pareto tail, honoring the cap if one is set.
+func (h Hybrid) Sample(rng *RNG) float64 {
+	var v float64
+	if rng.Float64() < h.BodyWeight {
+		v = h.Body.Sample(rng)
+	} else {
+		v = h.Tail.Sample(rng)
+	}
+	if h.Cap > 0 {
+		for tries := 0; v > h.Cap && tries < 20; tries++ {
+			v = h.Tail.Sample(rng)
+		}
+		if v > h.Cap {
+			v = h.Cap
+		}
+	}
+	return v
+}
+
+// WithCap returns a copy of the distribution with the given sample cap.
+func (h Hybrid) WithCap(cap float64) Hybrid {
+	h.Cap = cap
+	return h
+}
+
+// Mean returns the mixture mean. If the tail mean is undefined (K <= 1) the
+// tail contribution is approximated by truncating the tail at 2^60 bytes,
+// which matches how Impressions caps individual file sizes in practice.
+func (h Hybrid) Mean() float64 {
+	tailMean := h.Tail.Mean()
+	if math.IsNaN(tailMean) {
+		// E[X | Xm <= X <= limit] for a Pareto with k<=1, truncated.
+		limit := float64(uint64(1) << 60)
+		k, xm := h.Tail.K, h.Tail.Xm
+		if k == 1 {
+			tailMean = xm * math.Log(limit/xm) / (1 - xm/limit)
+		} else {
+			num := k * (math.Pow(xm, k)*math.Pow(limit, 1-k) - xm) / (1 - k)
+			den := 1 - math.Pow(xm/limit, k)
+			tailMean = num / den
+		}
+	}
+	return h.BodyWeight*h.Body.Mean() + (1-h.BodyWeight)*tailMean
+}
+
+// CDF returns the mixture CDF.
+func (h Hybrid) CDF(x float64) float64 {
+	return h.BodyWeight*h.Body.CDF(x) + (1-h.BodyWeight)*h.Tail.CDF(x)
+}
+
+// Name implements Distribution.
+func (h Hybrid) Name() string {
+	return fmt.Sprintf("hybrid(body=%s,tail=%s,alpha=%.5g)",
+		h.Body.Name(), h.Tail.Name(), h.BodyWeight)
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MixtureComponent is one weighted component of a mixture distribution.
+type MixtureComponent struct {
+	Weight float64
+	Dist   Distribution
+}
+
+// Mixture is a finite mixture of distributions. Impressions uses a mixture of
+// two lognormals to model the file-size-by-containing-bytes distribution
+// (Table 2 of the paper: α=0.76/0.24, µ=14.83/20.93, σ=2.35/1.48).
+type Mixture struct {
+	Components []MixtureComponent
+}
+
+// NewMixture builds a mixture, normalizing the component weights to sum to 1.
+// It panics if no components are given or all weights are non-positive.
+func NewMixture(components ...MixtureComponent) Mixture {
+	if len(components) == 0 {
+		panic("stats: mixture needs at least one component")
+	}
+	total := 0.0
+	for _, c := range components {
+		if c.Weight < 0 {
+			panic("stats: mixture weights must be non-negative")
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		panic("stats: mixture weights must sum to a positive value")
+	}
+	norm := make([]MixtureComponent, len(components))
+	for i, c := range components {
+		norm[i] = MixtureComponent{Weight: c.Weight / total, Dist: c.Dist}
+	}
+	return Mixture{Components: norm}
+}
+
+// NewLognormalMixture is a convenience constructor for a mixture of
+// lognormals given parallel weight/mu/sigma slices.
+func NewLognormalMixture(weights, mus, sigmas []float64) Mixture {
+	if len(weights) != len(mus) || len(mus) != len(sigmas) {
+		panic("stats: lognormal mixture parameter slices must have equal length")
+	}
+	comps := make([]MixtureComponent, len(weights))
+	for i := range weights {
+		comps[i] = MixtureComponent{Weight: weights[i], Dist: NewLognormal(mus[i], sigmas[i])}
+	}
+	return NewMixture(comps...)
+}
+
+// Sample picks a component according to the weights and samples from it.
+func (m Mixture) Sample(rng *RNG) float64 {
+	u := rng.Float64()
+	acc := 0.0
+	for _, c := range m.Components {
+		acc += c.Weight
+		if u < acc {
+			return c.Dist.Sample(rng)
+		}
+	}
+	return m.Components[len(m.Components)-1].Dist.Sample(rng)
+}
+
+// Mean returns the weighted mean of the component means.
+func (m Mixture) Mean() float64 {
+	mean := 0.0
+	for _, c := range m.Components {
+		mean += c.Weight * c.Dist.Mean()
+	}
+	return mean
+}
+
+// CDF returns the weighted CDF.
+func (m Mixture) CDF(x float64) float64 {
+	v := 0.0
+	for _, c := range m.Components {
+		v += c.Weight * c.Dist.CDF(x)
+	}
+	return v
+}
+
+// Name implements Distribution.
+func (m Mixture) Name() string {
+	parts := make([]string, len(m.Components))
+	for i, c := range m.Components {
+		parts[i] = fmt.Sprintf("%.3g*%s", c.Weight, c.Dist.Name())
+	}
+	return "mixture(" + strings.Join(parts, "+") + ")"
+}

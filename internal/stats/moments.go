@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the unbiased sample variance of xs (NaN if fewer than two
+// values).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdError returns the standard error of the mean of xs.
+func StdError(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Median returns the median of xs (NaN if empty). The input is not modified.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-th quantile of xs using linear interpolation between
+// order statistics. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of xs (NaN, NaN if empty).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// GeometricMean returns the geometric mean of xs; all values must be
+// positive, otherwise NaN is returned.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sumLog := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sumLog += math.Log(x)
+	}
+	return math.Exp(sumLog / float64(len(xs)))
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pareto is a Pareto (type I) distribution with shape K and scale Xm.
+// Impressions uses it for the heavy tail of file sizes greater than 512 MB
+// (Table 2 of the paper: k=0.91, Xm=512 MB).
+type Pareto struct {
+	K  float64 // shape (tail index)
+	Xm float64 // scale (minimum value)
+}
+
+// NewPareto returns a Pareto distribution. It panics on non-positive
+// parameters.
+func NewPareto(k, xm float64) Pareto {
+	if k <= 0 || xm <= 0 {
+		panic("stats: pareto parameters must be positive")
+	}
+	return Pareto{K: k, Xm: xm}
+}
+
+// Sample draws one Pareto variate by inverse transform.
+func (p Pareto) Sample(rng *RNG) float64 {
+	u := rng.Float64()
+	// Guard against u == 0 which would yield +Inf.
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.K)
+}
+
+// Mean returns the theoretical mean, which is infinite (NaN here) for K <= 1.
+func (p Pareto) Mean() float64 {
+	if p.K <= 1 {
+		return math.NaN()
+	}
+	return p.K * p.Xm / (p.K - 1)
+}
+
+// CDF returns P(X <= x).
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.K)
+}
+
+// PDF returns the density at x.
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.K * math.Pow(p.Xm, p.K) / math.Pow(x, p.K+1)
+}
+
+// Quantile returns the value x with CDF(x) = q.
+func (p Pareto) Quantile(q float64) float64 {
+	if q <= 0 {
+		return p.Xm
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return p.Xm / math.Pow(1-q, 1/p.K)
+}
+
+// Name implements Distribution.
+func (p Pareto) Name() string {
+	return fmt.Sprintf("pareto(k=%.4g,xm=%.4g)", p.K, p.Xm)
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Poisson is a Poisson distribution with rate Lambda. Impressions models the
+// distribution of file count with namespace depth as Poisson(λ=6.49)
+// (Table 2 of the paper).
+type Poisson struct {
+	Lambda float64
+}
+
+// NewPoisson returns a Poisson distribution; it panics if lambda <= 0.
+func NewPoisson(lambda float64) Poisson {
+	if lambda <= 0 {
+		panic("stats: poisson lambda must be positive")
+	}
+	return Poisson{Lambda: lambda}
+}
+
+// SampleInt draws one Poisson variate. For small lambda it uses Knuth's
+// multiplication method; for large lambda it uses the PTRS transformed
+// rejection method to stay O(1).
+func (p Poisson) SampleInt(rng *RNG) int {
+	if p.Lambda < 30 {
+		l := math.Exp(-p.Lambda)
+		k := 0
+		prod := rng.Float64()
+		for prod > l {
+			k++
+			prod *= rng.Float64()
+		}
+		return k
+	}
+	return p.samplePTRS(rng)
+}
+
+// samplePTRS implements Hörmann's transformed rejection sampler for large
+// lambda.
+func (p Poisson) samplePTRS(rng *RNG) int {
+	lam := p.Lambda
+	b := 0.931 + 2.53*math.Sqrt(lam)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lam + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(lam)-lam-lg {
+			return int(k)
+		}
+	}
+}
+
+// PMF returns P(X = k).
+func (p Poisson) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(p.Lambda) - p.Lambda - lg)
+}
+
+// CDF returns P(X <= k) for integer k (x is floored).
+func (p Poisson) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	k := int(math.Floor(x))
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += p.PMF(i)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Mean returns lambda.
+func (p Poisson) Mean() float64 { return p.Lambda }
+
+// Sample implements Distribution by returning the integer sample as float64.
+func (p Poisson) Sample(rng *RNG) float64 { return float64(p.SampleInt(rng)) }
+
+// Name implements Distribution.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(lambda=%.4g)", p.Lambda) }

@@ -1,0 +1,135 @@
+// Package stats provides the statistical machinery used by Impressions:
+// parametric probability distributions (lognormal, Pareto, hybrid, mixtures,
+// Poisson, inverse-polynomial, Zipf), empirical and categorical distributions,
+// power-of-two binned histograms, and deterministic random sampling.
+//
+// All sampling is driven by an explicit *RNG so that every generated
+// file-system image is exactly reproducible from a reported seed, which is a
+// core design goal of the Impressions framework (§3.1 of the paper).
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random number generator used throughout Impressions.
+// It wraps math/rand with an explicit seed so that images are reproducible:
+// the seed is recorded in the image Report and re-supplying it regenerates a
+// bit-identical image.
+type RNG struct {
+	seed int64
+	src  *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{seed: seed, src: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed the RNG was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Fork derives a new independent RNG from this one. The derived stream is a
+// deterministic function of the parent seed and the supplied label, so
+// subsystems (namespace creation, file sizing, content generation, ...) each
+// get their own stream and remain reproducible regardless of how many samples
+// the other subsystems draw.
+func (r *RNG) Fork(label string) *RNG {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewRNG(r.seed ^ h)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform integer in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63n returns a uniform int64 in [0,n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 { return r.src.Int63n(n) }
+
+// NormFloat64 returns a standard normal variate.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 { return r.src.ExpFloat64() }
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Uint64 returns a pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Distribution is a continuous (or effectively continuous) probability
+// distribution from which Impressions draws independent samples.
+type Distribution interface {
+	// Sample draws one value from the distribution using rng.
+	Sample(rng *RNG) float64
+	// Mean returns the theoretical mean, or NaN if undefined.
+	Mean() float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Name returns a short identifier used in reproducibility reports.
+	Name() string
+}
+
+// DiscreteDistribution is a distribution over non-negative integers.
+type DiscreteDistribution interface {
+	SampleInt(rng *RNG) int
+	PMF(k int) float64
+	Mean() float64
+	Name() string
+}
+
+// SampleN draws n independent samples from d.
+func SampleN(d Distribution, rng *RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// SampleIntsN draws n independent integer samples from d.
+func SampleIntsN(d DiscreteDistribution, rng *RNG, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.SampleInt(rng)
+	}
+	return out
+}
+
+// InverseCDFSample samples from an arbitrary distribution given only its CDF
+// using bisection on the interval [lo, hi]. It is the Monte Carlo fallback the
+// paper mentions for distributions with no closed-form sampler.
+func InverseCDFSample(cdf func(float64) float64, lo, hi float64, rng *RNG) float64 {
+	u := rng.Float64()
+	for i := 0; i < 200 && hi-lo > 1e-9*(1+math.Abs(hi)); i++ {
+		mid := lo + (hi-lo)/2
+		if cdf(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf is a Zipf (discrete power-law) distribution over ranks 1..N with
+// exponent S: P(rank k) ∝ 1/k^S. Impressions uses Zipfian rank models for
+// word popularity in generated file content (§3.6 of the paper, following
+// Sigurd et al.'s "Zipf revisited" word models).
+type Zipf struct {
+	S float64 // exponent
+	N int     // number of ranks
+
+	cum []float64
+}
+
+// NewZipf constructs a Zipf distribution over ranks 1..n with exponent s.
+// It panics if n <= 0 or s < 0.
+func NewZipf(s float64, n int) Zipf {
+	if n <= 0 {
+		panic("stats: zipf needs at least one rank")
+	}
+	if s < 0 {
+		panic("stats: zipf exponent must be non-negative")
+	}
+	z := Zipf{S: s, N: n}
+	z.cum = make([]float64, n)
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+	}
+	acc := 0.0
+	for k := 1; k <= n; k++ {
+		acc += 1 / math.Pow(float64(k), s) / total
+		z.cum[k-1] = acc
+	}
+	return z
+}
+
+// SampleInt returns a rank in [1, N].
+func (z Zipf) SampleInt(rng *RNG) int {
+	u := rng.Float64()
+	lo, hi := 0, z.N-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// PMF returns P(rank = k).
+func (z Zipf) PMF(k int) float64 {
+	if k < 1 || k > z.N {
+		return 0
+	}
+	if k == 1 {
+		return z.cum[0]
+	}
+	return z.cum[k-1] - z.cum[k-2]
+}
+
+// Mean returns the mean rank.
+func (z Zipf) Mean() float64 {
+	mean := 0.0
+	prev := 0.0
+	for k := 1; k <= z.N; k++ {
+		mean += float64(k) * (z.cum[k-1] - prev)
+		prev = z.cum[k-1]
+	}
+	return mean
+}
+
+// Name implements DiscreteDistribution.
+func (z Zipf) Name() string { return fmt.Sprintf("zipf(s=%.3g,n=%d)", z.S, z.N) }
