@@ -1,0 +1,35 @@
+# Targets mirror .github/workflows/ci.yml so local runs and CI are identical.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment suite (internal/bench) regenerates every paper figure and
+# needs more than the default 10m under the race detector on small machines.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# Full benchmark suite (paper tables/figures + micro + parallel engine).
+bench:
+	$(GO) test -run '^$$' -bench . ./...
+
+# One iteration of every benchmark, the CI smoke job.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint race bench-smoke

@@ -2,6 +2,9 @@ package impressions_test
 
 import (
 	"io"
+	"path/filepath"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"impressions"
@@ -9,6 +12,7 @@ import (
 	"impressions/internal/constraint"
 	"impressions/internal/content"
 	"impressions/internal/core"
+	"impressions/internal/fsimage"
 	"impressions/internal/namespace"
 	"impressions/internal/search"
 	"impressions/internal/stats"
@@ -216,6 +220,65 @@ func BenchmarkImageGenerationDefault(b *testing.B) {
 		}
 	}
 }
+
+// benchGeneration runs the metadata pipeline for a 100k-file image at the
+// given parallelism; the Serial/Parallel pair below quantifies the speedup of
+// the sharded engine (identical output is asserted by the determinism tests).
+func benchGeneration(b *testing.B, parallelism int) {
+	b.Helper()
+	files := 0
+	for i := 0; i < b.N; i++ {
+		res, err := impressions.Generate(impressions.Config{
+			NumFiles: 100000, NumDirs: 20000, Seed: 1, Parallelism: parallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		files += res.Image.FileCount()
+	}
+	b.ReportMetric(float64(files)/b.Elapsed().Seconds(), "files/s")
+}
+
+// BenchmarkImageGenerationSerial is the single-worker reference.
+func BenchmarkImageGenerationSerial(b *testing.B) { benchGeneration(b, 1) }
+
+// BenchmarkImageGenerationParallel uses one worker per CPU.
+func BenchmarkImageGenerationParallel(b *testing.B) { benchGeneration(b, runtime.NumCPU()) }
+
+// benchMaterialize writes a 3000-file image with generated content at the
+// given parallelism.
+func benchMaterialize(b *testing.B, parallelism int) {
+	b.Helper()
+	res, err := impressions.Generate(impressions.Config{
+		NumFiles: 3000, NumDirs: 600, Seed: 1,
+		// A narrow lognormal keeps the image ~75 MB so the write benchmark
+		// fits CI; the default heavy-tailed model would produce ~1 GB.
+		FileSizeDist: stats.NewLognormal(9.0, 1.5),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	registry := content.NewRegistry(content.KindDefault)
+	root := b.TempDir()
+	b.ResetTimer()
+	var written int64
+	for i := 0; i < b.N; i++ {
+		written, err = res.Image.Materialize(filepath.Join(root, strconv.Itoa(i)), fsimage.MaterializeOptions{
+			Registry:    registry,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(written)
+}
+
+// BenchmarkMaterializeSerial writes the image with one worker.
+func BenchmarkMaterializeSerial(b *testing.B) { benchMaterialize(b, 1) }
+
+// BenchmarkMaterializeParallel writes the image with one worker per CPU.
+func BenchmarkMaterializeParallel(b *testing.B) { benchMaterialize(b, runtime.NumCPU()) }
 
 // BenchmarkContentHybridText measures word-model text generation throughput.
 func BenchmarkContentHybridText(b *testing.B) {

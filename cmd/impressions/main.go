@@ -62,6 +62,7 @@ func run(args []string) error {
 		printDefaults = fs.Bool("print-defaults", false, "print the Table 2 parameter defaults and exit")
 		mu            = fs.Float64("size-mu", 0, "override lognormal mu of the file-size body")
 		sigma         = fs.Float64("size-sigma", 0, "override lognormal sigma of the file-size body")
+		jobs          = fs.Int("j", 0, "parallel workers for generation and materialization (0 = all CPUs, 1 = serial); the image is byte-identical at any level")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +80,7 @@ func run(args []string) error {
 		ContentKind:           content.Kind(*contentFlag),
 		LayoutScore:           *layoutFlag,
 		UseSpecialDirectories: *specialFlag,
+		Parallelism:           *jobs,
 	}
 	if *sizeFlag != "" {
 		bytes, err := parseSize(*sizeFlag)
@@ -123,6 +125,7 @@ func run(args []string) error {
 			Registry:     content.NewRegistry(content.Kind(*contentFlag)),
 			Seed:         res.Image.Spec.Seed,
 			MetadataOnly: *metadataOnly,
+			Parallelism:  *jobs,
 		})
 		if err != nil {
 			return err

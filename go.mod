@@ -1,0 +1,3 @@
+module impressions
+
+go 1.24

@@ -21,6 +21,14 @@
 // interpolation), the namespace generative model, content generators, the
 // simulated disk, workload and desktop-search simulators, and the experiment
 // harness that regenerates every table and figure of the paper.
+//
+// # Parallelism
+//
+// Generation and materialization run on a sharded worker pool sized by
+// Config.Parallelism and MaterializeOptions.Parallelism (0 = all CPUs). All
+// randomness is drawn from RNG streams derived from the master seed and
+// stable shard keys, so a fixed seed yields a byte-identical image at every
+// parallelism level; see README.md for the pipeline decomposition.
 package impressions
 
 import (

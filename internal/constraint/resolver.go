@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 
+	"impressions/internal/parallel"
 	"impressions/internal/stats"
 	"impressions/internal/stats/gof"
 )
@@ -92,6 +93,7 @@ var ErrNoDistribution = errors.New("constraint: problem needs a distribution")
 type Resolver struct {
 	rng        *stats.RNG
 	recordPath bool
+	workers    int
 }
 
 // NewResolver returns a resolver that draws samples from rng.
@@ -100,6 +102,34 @@ func NewResolver(rng *stats.RNG) *Resolver { return &Resolver{rng: rng} }
 // RecordConvergence makes subsequent Resolve calls record the subset sum
 // after every oversampling step (Figure 3(a) traces).
 func (r *Resolver) RecordConvergence(on bool) { r.recordPath = on }
+
+// SetParallelism sets how many workers draw the initial sample pool
+// (values below 2 keep the draw on the calling goroutine). The pool is
+// always drawn shard-by-shard from RNG streams keyed by the shard index, so
+// the resolved sizes are identical at every parallelism level; the
+// distribution must tolerate concurrent Sample calls with independent RNGs,
+// which every stats distribution does (they are immutable values).
+func (r *Resolver) SetParallelism(workers int) { r.workers = workers }
+
+// samplePool draws the initial n-element pool. The shard base is seeded by
+// one draw from the resolver's main stream, so every attempt — across
+// restarts and across successive Resolve calls on the same Resolver — gets a
+// genuinely fresh pool (the restart mechanism exists to replace an unlucky
+// initial draw). Shard s of the pool then comes from the derived stream
+// SplitN(s) of that base, so concurrent workers never contend and the result
+// is independent of scheduling.
+func (r *Resolver) samplePool(d stats.Distribution, n int) []float64 {
+	base := stats.NewRNG(int64(r.rng.Uint64())).SplitStream("pool")
+	out := make([]float64, n)
+	parallel.Run(r.workers, parallel.Shards(n), func(s int) {
+		srng := base.SplitN(uint64(s))
+		lo, hi := parallel.Bounds(n, s)
+		for i := lo; i < hi; i++ {
+			out[i] = d.Sample(srng)
+		}
+	})
+	return out
+}
 
 // Resolve solves the problem, returning the resolved samples and convergence
 // statistics.
@@ -116,17 +146,43 @@ func (r *Resolver) Resolve(p Problem) (Result, error) {
 	applyDefaults(&p)
 
 	var res Result
+	wideMisses := 0
 	for restart := 0; restart <= p.MaxRestarts; restart++ {
 		res.Restarts = restart
-		ok := r.attempt(p, &res)
+		ok, gapFrac := r.attempt(p, &res)
 		if ok {
 			res.Converged = true
 			return res, nil
+		}
+		// If the target never entered the achievable window [minSum, maxSum]
+		// during two independent attempts and both missed it by a wide
+		// margin, the gap is systematic — the target is beyond what (1+λ)·N
+		// draws of this distribution realize — and further redraws of the
+		// same size will be in the same position. Restarting only helps
+		// unlucky attempts (stalled subset searches, near-miss feasibility),
+		// so bail out instead of burning the remaining restarts: at
+		// production image scale those futile restarts used to dominate
+		// generation time. Requiring two consecutive wide misses keeps one
+		// genuine redraw for heavy-tailed distributions whose achievable
+		// maximum swings with the largest single draw.
+		if gapFrac > futilityGapFrac {
+			wideMisses++
+			if wideMisses >= 2 {
+				break
+			}
+		} else {
+			wideMisses = 0
 		}
 	}
 	res.Converged = false
 	return res, nil
 }
+
+// futilityGapFrac is the relative distance between the target sum and the
+// closest achievable subset sum beyond which an attempt counts as a wide
+// miss; two consecutive wide misses classify the problem as systematically
+// infeasible rather than unlucky.
+const futilityGapFrac = 0.2
 
 func applyDefaults(p *Problem) {
 	if p.Beta <= 0 {
@@ -144,9 +200,12 @@ func applyDefaults(p *Problem) {
 }
 
 // attempt runs one full draw + oversample loop. It fills res with the latest
-// state and returns true on convergence.
-func (r *Resolver) attempt(p Problem, res *Result) bool {
-	pool := stats.SampleN(p.Dist, r.rng, p.N)
+// state and returns whether it converged, plus the attempt's final relative
+// feasibility gap: 0 when some oversampling step was sum-feasible (the
+// target sat inside the achievable [minSum, maxSum] window), otherwise how
+// far outside the window the target remained as a fraction of the target.
+func (r *Resolver) attempt(p Problem, res *Result) (converged bool, gapFrac float64) {
+	pool := r.samplePool(p.Dist, p.N)
 	tolerance := p.Beta * p.TargetSum
 	maxOversamples := int(p.Lambda * float64(p.N))
 
@@ -168,16 +227,18 @@ func (r *Resolver) attempt(p Problem, res *Result) bool {
 		if !p.SkipKS {
 			res.KS, _ = gof.KSTwoSample(pool, pool, p.Alpha)
 		}
-		return true
+		return true, 0
 	}
 
-	// sortedPool mirrors pool in sorted order so feasibility (is there any
-	// N-subset whose sum can fall inside the tolerance band?) can be checked
-	// cheaply before running the expensive subset search. When the target is
-	// far from the expected sum, most oversampling steps are provably
-	// infeasible and are skipped in O(N) each.
-	sortedPool := append([]float64(nil), pool...)
-	sort.Float64s(sortedPool)
+	// Feasibility (is there any N-subset whose sum can fall inside the
+	// tolerance band?) is checked cheaply before running the expensive subset
+	// search: when the target is far from the expected sum, most oversampling
+	// steps are provably infeasible and are skipped. The bounds — the sums of
+	// the N smallest and N largest pool elements — are maintained by a pair
+	// of bounded heaps in O(log N) per oversample; recomputing them from
+	// scratch made the whole resolution O(N²) and dominated image-generation
+	// time at production scale.
+	bounds := newBoundsTracker(pool, p.N)
 
 	// Abort the attempt early when repeated subset searches stop making
 	// progress; the paper's prescription for such extreme targets is to drop
@@ -185,19 +246,20 @@ func (r *Resolver) attempt(p Problem, res *Result) bool {
 	const stallLimit = 50
 	bestErr := math.Inf(1)
 	stalled := 0
+	feasible := false
 
 	for extra := 1; extra <= maxOversamples; extra++ {
 		sample := p.Dist.Sample(r.rng)
 		pool = append(pool, sample)
-		insertSorted(&sortedPool, sample)
+		bounds.add(sample)
 
-		minSum, maxSum := boundSums(sortedPool, p.N)
-		if minSum > p.TargetSum+tolerance || maxSum < p.TargetSum-tolerance {
+		if bounds.minSum > p.TargetSum+tolerance || bounds.maxSum < p.TargetSum-tolerance {
 			if r.recordPath {
-				res.Trace = append(res.Trace, nearestBound(minSum, maxSum, p.TargetSum))
+				res.Trace = append(res.Trace, nearestBound(bounds.minSum, bounds.maxSum, p.TargetSum))
 			}
 			continue
 		}
+		feasible = true
 
 		subset, sum, found := r.selectSubset(pool, p)
 		if r.recordPath {
@@ -237,19 +299,88 @@ func (r *Resolver) attempt(p Problem, res *Result) bool {
 		res.FinalBeta = math.Abs(sum-p.TargetSum) / p.TargetSum
 		res.Oversamples = extra
 		res.OversampleRate = float64(extra) / float64(p.N)
-		return true
+		return true, 0
 	}
 	res.Oversamples = maxOversamples
 	res.OversampleRate = p.Lambda
-	return false
+	if feasible {
+		return false, 0
+	}
+	// The bounds only widen as the pool grows, so the final window is the
+	// closest this attempt ever came to feasibility.
+	gap := math.Max(bounds.minSum-(p.TargetSum+tolerance), (p.TargetSum-tolerance)-bounds.maxSum)
+	if gap < 0 {
+		gap = 0
+	}
+	return false, gap / p.TargetSum
 }
 
-// insertSorted inserts v into the sorted slice pointed to by s.
-func insertSorted(s *[]float64, v float64) {
-	idx := sort.SearchFloat64s(*s, v)
-	*s = append(*s, 0)
-	copy((*s)[idx+1:], (*s)[idx:])
-	(*s)[idx] = v
+// boundsTracker maintains the sums of the n smallest and n largest elements
+// of a growing pool: a max-heap holds the n smallest (its root is the
+// eviction candidate) and a min-heap the n largest. Each add is O(log n) and
+// consumes no randomness, so it changes nothing about resolution results —
+// only their cost.
+type boundsTracker struct {
+	n      int
+	low    []float64 // max-heap of the n smallest elements
+	high   []float64 // min-heap of the n largest elements
+	minSum float64
+	maxSum float64
+}
+
+// newBoundsTracker seeds the tracker with the initial pool, which must hold
+// at least n elements (the resolver starts from exactly n).
+func newBoundsTracker(pool []float64, n int) *boundsTracker {
+	sorted := append([]float64(nil), pool...)
+	sort.Float64s(sorted)
+	b := &boundsTracker{n: n}
+	b.minSum, b.maxSum = boundSums(sorted, n)
+	if n > len(sorted) {
+		n = len(sorted)
+		b.n = n
+	}
+	b.low = append(b.low, sorted[:n]...)
+	b.high = append(b.high, sorted[len(sorted)-n:]...)
+	// Heapify: sift down from the last internal node.
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(b.low, i, func(a, c float64) bool { return a > c })
+		siftDown(b.high, i, func(a, c float64) bool { return a < c })
+	}
+	return b
+}
+
+// add folds one new pool element into both bounds.
+func (b *boundsTracker) add(v float64) {
+	if v < b.low[0] {
+		b.minSum += v - b.low[0]
+		b.low[0] = v
+		siftDown(b.low, 0, func(a, c float64) bool { return a > c })
+	}
+	if v > b.high[0] {
+		b.maxSum += v - b.high[0]
+		b.high[0] = v
+		siftDown(b.high, 0, func(a, c float64) bool { return a < c })
+	}
+}
+
+// siftDown restores the heap property rooted at i, where before reports
+// whether its first argument must sit above its second.
+func siftDown(h []float64, i int, before func(a, c float64) bool) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && before(h[l], h[best]) {
+			best = l
+		}
+		if r < len(h) && before(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }
 
 // boundSums returns the minimum and maximum achievable sums of any subset of

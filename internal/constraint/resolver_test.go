@@ -2,6 +2,7 @@ package constraint
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -197,19 +198,40 @@ func TestBoundSums(t *testing.T) {
 	}
 }
 
-func TestInsertSorted(t *testing.T) {
-	s := []float64{1, 3, 5}
-	insertSorted(&s, 4)
-	insertSorted(&s, 0)
-	insertSorted(&s, 9)
-	want := []float64{0, 1, 3, 4, 5, 9}
-	if len(s) != len(want) {
-		t.Fatalf("got %v", s)
+func TestBoundsTrackerMatchesBoundSums(t *testing.T) {
+	rng := stats.NewRNG(3)
+	pool := stats.SampleN(paperDist(), rng, 100)
+	tracker := newBoundsTracker(pool, 100)
+	all := append([]float64(nil), pool...)
+	for i := 0; i < 500; i++ {
+		v := paperDist().Sample(rng)
+		all = append(all, v)
+		tracker.add(v)
 	}
-	for i := range want {
-		if s[i] != want[i] {
-			t.Fatalf("got %v, want %v", s, want)
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+	wantMin, wantMax := boundSums(sorted, 100)
+	if math.Abs(tracker.minSum-wantMin) > 1e-6*wantMin || math.Abs(tracker.maxSum-wantMax) > 1e-6*wantMax {
+		t.Fatalf("tracker bounds (%g, %g) diverge from boundSums (%g, %g)",
+			tracker.minSum, tracker.maxSum, wantMin, wantMax)
+	}
+}
+
+func TestSuccessivePoolDrawsAreFresh(t *testing.T) {
+	// Restarts and repeated Resolve calls on one Resolver must redraw fresh
+	// initial pools: the restart mechanism exists to replace an unlucky draw.
+	r := NewResolver(stats.NewRNG(9))
+	a := r.samplePool(paperDist(), 50)
+	b := r.samplePool(paperDist(), 50)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
 		}
+	}
+	if same {
+		t.Fatal("successive pool draws were identical; restarts cannot replace an unlucky draw")
 	}
 }
 

@@ -93,6 +93,14 @@ type Config struct {
 	// FilesPerDir overrides the files-per-directory ratio used when NumDirs
 	// is derived (0 selects 5, matching Table 6's 20000 files / 4000 dirs).
 	FilesPerDir int
+
+	// Parallelism is the number of workers used for the sharded phases of the
+	// pipeline (metadata assignment and, by default, materialization).
+	// 0 selects runtime.NumCPU(); 1 forces the serial reference path. The
+	// generated image is byte-identical for a fixed seed at every parallelism
+	// level: all randomness is drawn from RNG streams derived from stable
+	// shard keys, never from worker scheduling.
+	Parallelism int
 }
 
 // DefaultFilesPerDir is the files-to-directories ratio used when the
@@ -200,6 +208,9 @@ func (c Config) Validate() error {
 	}
 	if c.Beta < 0 || c.Beta >= 1 {
 		return fmt.Errorf("core: beta %.3f outside [0,1)", c.Beta)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"impressions/internal/disk"
 	"impressions/internal/fsimage"
 	"impressions/internal/namespace"
+	"impressions/internal/parallel"
 	"impressions/internal/stats"
 )
 
@@ -70,20 +71,16 @@ func (g *Generator) Generate() (*Result, error) {
 	}
 	phases["file sizes distribution"] = seconds(start)
 
-	// Phase 3: extensions from the percentile table.
+	// Phase 3: extensions from the percentile table (sharded workers).
 	start = time.Now()
 	exts := g.assignExtensions(rng.Fork("extensions"), len(sizes))
 	phases["popular extensions"] = seconds(start)
 
-	// Phase 4: file depths and parent directories (multiplicative model).
+	// Phase 4: file depths and parent directories (multiplicative model),
+	// run as the two-pass sharded placement pipeline.
 	start = time.Now()
 	img := fsimage.New(tree)
-	placer := namespace.NewPlacer(tree, g.placerConfig(tree), rng.Fork("placement"))
-	for i, size := range sizes {
-		placement := placer.Place(int64(size))
-		name := fsimage.MakeFileName(i, exts[i])
-		img.AddFile(name, normalizeExt(exts[i]), int64(size), placement.DirID, placement.FileDepth)
-	}
+	g.placeFiles(img, tree, sizes, exts, rng)
 	phases["file and bytes with depth"] = seconds(start)
 
 	// Phase 5: optional on-disk layout simulation (§3.7).
@@ -126,6 +123,7 @@ func (g *Generator) Generate() (*Result, error) {
 func (g *Generator) resolveSizes(rng *stats.RNG) ([]float64, constraint.Result, error) {
 	cfg := g.cfg
 	resolver := constraint.NewResolver(rng)
+	resolver.SetParallelism(effectiveParallelism(cfg.Parallelism))
 	problem := constraint.Problem{
 		N:         cfg.NumFiles,
 		TargetSum: float64(cfg.FSSizeBytes),
@@ -162,18 +160,101 @@ func roundSizes(sizes []float64) {
 
 // assignExtensions samples extensions from the dataset's percentile table;
 // files falling in the "others" bucket receive a random three-character
-// extension, exactly as §3.3.2 describes.
+// extension, exactly as §3.3.2 describes. Files are processed in fixed-size
+// shards, each drawing from its own derived stream, so the assignment is
+// identical at every parallelism level.
 func (g *Generator) assignExtensions(rng *stats.RNG, n int) []string {
 	table := g.cfg.Dataset.ExtensionsByCount()
 	out := make([]string, n)
-	for i := 0; i < n; i++ {
-		ext := table.SampleName(rng)
-		if ext == "others" {
-			ext = randomExtension(rng)
+	parallel.Run(effectiveParallelism(g.cfg.Parallelism), parallel.Shards(n), func(s int) {
+		srng := rng.SplitN(uint64(s))
+		lo, hi := parallel.Bounds(n, s)
+		for i := lo; i < hi; i++ {
+			ext := table.SampleName(srng)
+			if ext == "others" {
+				ext = randomExtension(srng)
+			}
+			out[i] = ext
 		}
-		out[i] = ext
-	}
+	})
 	return out
+}
+
+// placeFiles assigns every file a parent directory and depth using the
+// multiplicative model of §3.3.2, decomposed into two deterministic parallel
+// passes:
+//
+//  1. Depth pass — for each file, decide whether it lands in a special
+//     directory and otherwise choose its namespace depth. Both decisions read
+//     only the immutable tree skeleton, so files are processed in fixed-size
+//     shards with per-shard RNG streams.
+//  2. Parent pass — group files by chosen depth and run one worker per depth
+//     level. A file at depth d picks its parent among directories at depth
+//     d-1 only, so workers touch disjoint directory sets while preserving
+//     the sequential preferential-attachment dynamics within each depth.
+//
+// Shard boundaries, depth grouping (ascending file index), and every RNG
+// stream are functions of the seed and stable shard/depth keys — never of
+// worker count or scheduling — so any parallelism level produces the
+// identical image.
+func (g *Generator) placeFiles(img *fsimage.Image, tree *namespace.Tree, sizes []float64, exts []string, rng *stats.RNG) {
+	placer := namespace.NewPlacer(tree, g.placerConfig(tree), rng.Fork("placement"))
+	workers := effectiveParallelism(g.cfg.Parallelism)
+	n := len(sizes)
+
+	// Pass 1: special-directory draws and depth choices, sharded.
+	depths := make([]int, n)
+	parents := make([]int, n) // parent dir ID; -1 until assigned
+	depthStream := rng.Fork("placement/depth")
+	parallel.Run(workers, parallel.Shards(n), func(s int) {
+		srng := depthStream.SplitN(uint64(s))
+		lo, hi := parallel.Bounds(n, s)
+		for i := lo; i < hi; i++ {
+			if dirID, ok := placer.ChooseSpecial(srng); ok {
+				parents[i] = dirID
+				depths[i] = placer.FileDepthAt(dirID)
+				continue
+			}
+			parents[i] = -1
+			depths[i] = placer.ChooseDepth(int64(sizes[i]), srng)
+		}
+	})
+
+	// Commit special placements before the parent pass so every depth worker
+	// starts from the same directory counters.
+	byDepth := make([][]int, placer.MaxFileDepth()+1)
+	for i := 0; i < n; i++ {
+		if parents[i] >= 0 {
+			placer.Commit(parents[i], int64(sizes[i]))
+			continue
+		}
+		byDepth[depths[i]] = append(byDepth[depths[i]], i)
+	}
+
+	// Pass 2: parent choice, one worker per depth level. A depth-d worker
+	// reads and updates only directories at depth d-1, so depth levels are
+	// independent; each draws from its own stream keyed by the depth.
+	parentStream := rng.Fork("placement/parent")
+	parallel.Run(workers, len(byDepth), func(d int) {
+		files := byDepth[d]
+		if len(files) == 0 {
+			return
+		}
+		drng := parentStream.SplitN(uint64(d))
+		for _, i := range files {
+			dirID := placer.ChooseParentAt(d-1, drng)
+			placer.Commit(dirID, int64(sizes[i]))
+			parents[i] = dirID
+			depths[i] = placer.FileDepthAt(dirID)
+		}
+	})
+
+	// Merge: append files in index order so the image is identical no matter
+	// which worker produced each placement.
+	for i := 0; i < n; i++ {
+		name := fsimage.MakeFileName(i, exts[i])
+		img.AddFile(name, normalizeExt(exts[i]), int64(sizes[i]), parents[i], depths[i])
+	}
 }
 
 func randomExtension(rng *stats.RNG) string {

@@ -1,0 +1,12 @@
+package core
+
+import "runtime"
+
+// effectiveParallelism resolves a user-requested parallelism level: values
+// below 1 select runtime.NumCPU().
+func effectiveParallelism(requested int) int {
+	if requested >= 1 {
+		return requested
+	}
+	return runtime.NumCPU()
+}

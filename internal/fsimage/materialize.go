@@ -5,8 +5,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"impressions/internal/content"
+	"impressions/internal/namespace"
+	"impressions/internal/parallel"
 	"impressions/internal/stats"
 )
 
@@ -25,10 +30,20 @@ type MaterializeOptions struct {
 	// DirPerm and FilePerm are the permissions for created entries.
 	DirPerm  os.FileMode
 	FilePerm os.FileMode
+	// Parallelism is the number of shard workers writing the image; 0 selects
+	// runtime.NumCPU(), 1 forces the serial path. Every file's content is
+	// drawn from a stream derived from the seed and the file's ID, so the
+	// written bytes are identical at every parallelism level.
+	Parallelism int
 }
 
 // Materialize writes the image as a real directory tree rooted at root.
 // It returns the number of bytes written.
+//
+// The image is partitioned into subtree shards (namespace.PartitionSubtrees)
+// and each worker creates its shard's directories and files; per-file RNG
+// streams keep the output byte-identical regardless of the worker count, and
+// per-shard byte counts are merged into the single returned total.
 func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, error) {
 	if opts.Registry == nil {
 		opts.Registry = content.NewRegistry(content.KindDefault)
@@ -42,24 +57,75 @@ func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, erro
 	if opts.FilePerm == 0 {
 		opts.FilePerm = 0o644
 	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if err := os.MkdirAll(root, opts.DirPerm); err != nil {
 		return 0, fmt.Errorf("fsimage: creating root %q: %w", root, err)
 	}
-	// Create all directories first; the tree stores them in creation order so
-	// parents always precede children.
-	for _, d := range img.Tree.Dirs {
-		if d.ID == 0 {
+
+	// Partition the namespace into balanced subtree shards; weight each
+	// directory by the bytes and files it holds directly so shards carry
+	// comparable write work. Over-shard relative to the worker count so the
+	// atomic shard queue can smooth out uneven subtrees.
+	shardGoal := workers * 4
+	part := namespace.PartitionSubtrees(img.Tree, shardGoal, func(d *namespace.Dir) float64 {
+		return float64(d.Bytes) + 16*1024*float64(d.FileCount) + 4096
+	})
+	filesByShard := make([][]int, part.Len())
+	for i := range img.Files {
+		s := part.ShardOf(img.Files[i].DirID)
+		filesByShard[s] = append(filesByShard[s], i)
+	}
+
+	baseRNG := stats.NewRNG(opts.Seed).Fork("materialize")
+	var (
+		written atomic.Int64
+		mu      sync.Mutex
+		firstEr error
+	)
+	parallel.Run(workers, part.Len(), func(s int) {
+		mu.Lock()
+		failed := firstEr != nil
+		mu.Unlock()
+		if failed {
+			return // short-circuit remaining shards after the first error
+		}
+		n, err := img.materializeShard(root, part.Shards[s], filesByShard[s], opts, baseRNG)
+		written.Add(n)
+		if err != nil {
+			mu.Lock()
+			if firstEr == nil {
+				firstEr = err
+			}
+			mu.Unlock()
+		}
+	})
+	return written.Load(), firstEr
+}
+
+// materializeShard creates one shard's directories and files. Shard directory
+// lists are in ascending ID order, so parents within the shard's subtrees are
+// created before their children; a subtree's own root hangs directly off the
+// image root, which already exists.
+func (img *Image) materializeShard(root string, dirs []int, files []int, opts MaterializeOptions, baseRNG *stats.RNG) (int64, error) {
+	for _, id := range dirs {
+		if id == 0 {
 			continue
 		}
-		p := filepath.Join(root, filepath.FromSlash(img.Tree.Path(d.ID)))
+		p := filepath.Join(root, filepath.FromSlash(img.Tree.Path(id)))
 		if err := os.MkdirAll(p, opts.DirPerm); err != nil {
 			return 0, fmt.Errorf("fsimage: creating directory %q: %w", p, err)
 		}
 	}
-	rng := stats.NewRNG(opts.Seed).Fork("materialize")
 	var written int64
-	for _, f := range img.Files {
+	for _, i := range files {
+		f := img.Files[i]
 		p := filepath.Join(root, filepath.FromSlash(img.FilePath(f)))
+		// Each file owns a stream keyed by its ID: content depends only on
+		// the seed and the file, never on write order or worker identity.
+		rng := baseRNG.SplitN(uint64(f.ID))
 		n, err := writeFile(p, f, opts, rng)
 		if err != nil {
 			return written, err

@@ -40,6 +40,14 @@ type Placer struct {
 	sigma        float64
 	maxFileDepth int
 
+	// parentFen holds one Fenwick tree of parent-choice weights per directory
+	// depth, built lazily on first use and updated incrementally on Commit, so
+	// each parent choice is O(log n) instead of a linear scan over every
+	// candidate. Entry d is only ever touched by the worker owning file depth
+	// d+1, so lazy construction is race-free in the parallel pipeline.
+	parentFen  []*fenwick
+	posInDepth []int // position of each directory within its depth's ID list
+
 	// Special directories with explicit file shares (Table 2's conditional
 	// probabilities): a file lands directly in one of them with probability
 	// specialShare, split proportionally to the individual shares.
@@ -70,6 +78,13 @@ func NewPlacer(tree *Tree, cfg PlacerConfig, rng *stats.RNG) *Placer {
 		p.depthPMF[d] = cfg.DepthModel.PMF(d)
 		if p.depthPMF[d] <= 0 {
 			p.depthPMF[d] = 1e-12
+		}
+	}
+	p.parentFen = make([]*fenwick, tree.MaxDepth()+1)
+	p.posInDepth = make([]int, tree.Len())
+	for depth := 0; depth <= tree.MaxDepth(); depth++ {
+		for i, id := range tree.DirsAtDepth(depth) {
+			p.posInDepth[id] = i
 		}
 	}
 	if cfg.UseSpecialDirectories {
@@ -105,30 +120,71 @@ type Placement struct {
 func (p *Placer) Place(size int64) Placement {
 	// Special directories with explicit file shares absorb their fraction of
 	// files directly (Table 2's conditional probabilities for special dirs).
-	if p.specialShare > 0 && p.rng.Float64() < p.specialShare {
-		u := p.rng.Float64() * p.specialCum[len(p.specialCum)-1]
-		idx := 0
-		for idx < len(p.specialCum)-1 && p.specialCum[idx] < u {
-			idx++
-		}
-		dirID := p.specialIDs[idx]
-		p.tree.Dirs[dirID].FileCount++
-		p.tree.Dirs[dirID].Bytes += size
+	if dirID, ok := p.ChooseSpecial(p.rng); ok {
+		p.Commit(dirID, size)
 		return Placement{DirID: dirID, FileDepth: p.tree.Dirs[dirID].Depth + 1}
 	}
-	depth := p.chooseDepth(size)
-	dirID := p.chooseParent(depth - 1)
-	p.tree.Dirs[dirID].FileCount++
-	p.tree.Dirs[dirID].Bytes += size
+	depth := p.ChooseDepth(size, p.rng)
+	dirID := p.ChooseParentAt(depth-1, p.rng)
+	p.Commit(dirID, size)
 	return Placement{DirID: dirID, FileDepth: depth}
 }
 
-// chooseDepth implements the multiplicative depth model: the probability of
+// ChooseSpecial draws whether a file lands directly in a special directory
+// with an explicit file share, returning the chosen directory ID. It reads
+// only immutable placer state, so it is safe to call concurrently with an
+// independent rng per goroutine.
+func (p *Placer) ChooseSpecial(rng *stats.RNG) (int, bool) {
+	if p.specialShare <= 0 || rng.Float64() >= p.specialShare {
+		return 0, false
+	}
+	u := rng.Float64() * p.specialCum[len(p.specialCum)-1]
+	idx := 0
+	for idx < len(p.specialCum)-1 && p.specialCum[idx] < u {
+		idx++
+	}
+	return p.specialIDs[idx], true
+}
+
+// Commit records a placed file in the tree's per-directory counters so
+// subsequent parent choices see the new state. Callers running in parallel
+// must ensure disjoint directory ownership (the pipeline assigns each
+// namespace depth to exactly one worker).
+func (p *Placer) Commit(dirID int, size int64) {
+	d := &p.tree.Dirs[dirID]
+	oldWeight := p.parentWeight(d)
+	d.FileCount++
+	d.Bytes += size
+	if fen := p.parentFen[d.Depth]; fen != nil {
+		fen.add(p.posInDepth[dirID], p.parentWeight(d)-oldWeight)
+	}
+}
+
+// parentWeight is the parent-choice weight of one directory: the inverse-
+// polynomial model of its file count, scaled by the special-directory bias
+// when enabled.
+func (p *Placer) parentWeight(d *Dir) float64 {
+	w := p.cfg.DirFileModel.Weight(d.FileCount)
+	if p.cfg.UseSpecialDirectories && d.Special {
+		w *= d.Bias
+	}
+	return w
+}
+
+// FileDepthAt returns the namespace depth a file placed in dirID gets.
+func (p *Placer) FileDepthAt(dirID int) int { return p.tree.Dirs[dirID].Depth + 1 }
+
+// MaxFileDepth returns the deepest file depth the placer considers.
+func (p *Placer) MaxFileDepth() int { return p.maxFileDepth }
+
+// ChooseDepth implements the multiplicative depth model: the probability of
 // file depth d is proportional to PoissonPMF(d) multiplied by a lognormal
 // affinity between the file's size and the desired mean bytes per file at
 // that depth. Only depths with at least one candidate parent directory are
-// considered.
-func (p *Placer) chooseDepth(size int64) int {
+// considered. ChooseDepth reads only the immutable tree skeleton (never the
+// evolving file counters), so shard workers may call it concurrently, each
+// with its own rng.
+func (p *Placer) ChooseDepth(size int64, rng *stats.RNG) int {
 	weights := make([]float64, p.maxFileDepth+1)
 	total := 0.0
 	logSize := math.Log(float64(size) + 1)
@@ -154,15 +210,24 @@ func (p *Placer) chooseDepth(size int64) int {
 		}
 		return 1
 	}
-	target := p.rng.Float64() * total
+	target := rng.Float64() * total
 	acc := 0.0
+	last := 1
 	for d := 1; d <= p.maxFileDepth; d++ {
+		if weights[d] <= 0 {
+			continue
+		}
+		last = d
 		acc += weights[d]
 		if target < acc {
 			return d
 		}
 	}
-	return p.maxFileDepth
+	// Floating-point fallthrough (target == total after rounding): return the
+	// deepest depth that actually carried weight, never a depth without a
+	// populated parent level — the parallel parent pass relies on every
+	// chosen depth having its own candidates (one worker per depth).
+	return last
 }
 
 func (p *Placer) meanBytesAt(depth int) float64 {
@@ -175,49 +240,43 @@ func (p *Placer) meanBytesAt(depth int) float64 {
 	return p.cfg.MeanBytesByDepth[depth]
 }
 
-// chooseParent selects a directory at the given depth, weighting each
+// ChooseParentAt selects a directory at the given depth, weighting each
 // candidate by the inverse-polynomial model of its current file count and,
-// when enabled, the special-directory bias.
-func (p *Placer) chooseParent(dirDepth int) int {
+// when enabled, the special-directory bias. It reads the evolving FileCount
+// of directories at dirDepth only, so the parallel pipeline may run one
+// worker per depth level: workers for different depths touch disjoint
+// directory sets.
+func (p *Placer) ChooseParentAt(dirDepth int, rng *stats.RNG) int {
 	candidates := p.tree.DirsAtDepth(dirDepth)
 	if len(candidates) == 0 {
 		// Walk up until a populated depth is found; the root always exists.
 		for d := dirDepth - 1; d >= 0; d-- {
-			if c := p.tree.DirsAtDepth(d); len(c) > 0 {
-				candidates = c
-				break
+			if len(p.tree.DirsAtDepth(d)) > 0 {
+				return p.ChooseParentAt(d, rng)
 			}
 		}
-		if len(candidates) == 0 {
-			return 0
-		}
+		return 0
 	}
 	if len(candidates) == 1 {
 		return candidates[0]
 	}
-	total := 0.0
-	weights := make([]float64, len(candidates))
-	for i, id := range candidates {
-		dir := &p.tree.Dirs[id]
-		w := p.cfg.DirFileModel.Weight(dir.FileCount)
-		if p.cfg.UseSpecialDirectories && dir.Special {
-			w *= dir.Bias
+	fen := p.parentFen[dirDepth]
+	if fen == nil {
+		fen = newFenwick(len(candidates))
+		for i, id := range candidates {
+			fen.add(i, p.parentWeight(&p.tree.Dirs[id]))
 		}
-		weights[i] = w
-		total += w
+		p.parentFen[dirDepth] = fen
 	}
+	total := fen.total()
 	if total <= 0 {
-		return candidates[p.rng.Intn(len(candidates))]
+		return candidates[rng.Intn(len(candidates))]
 	}
-	target := p.rng.Float64() * total
-	acc := 0.0
-	for i, w := range weights {
-		acc += w
-		if target < acc {
-			return candidates[i]
-		}
+	idx := fen.find(rng.Float64() * total)
+	if idx >= len(candidates) {
+		idx = len(candidates) - 1
 	}
-	return candidates[len(candidates)-1]
+	return candidates[idx]
 }
 
 // FileDepthHistogram returns per-depth file counts accumulated in the tree

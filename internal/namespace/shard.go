@@ -1,0 +1,115 @@
+package namespace
+
+import "sort"
+
+// Partition splits a directory tree into disjoint subtree shards for parallel
+// processing. Every directory belongs to exactly one shard; a directory is
+// always in the same shard as its top-level ancestor (the child of the root it
+// descends from), so each shard is a forest of whole subtrees and two shards
+// never share a directory. The root itself is assigned to shard 0.
+//
+// Partitioning is deterministic: the same tree and shard count always produce
+// the same assignment. Workers may process shards in any order — determinism
+// of the generated image comes from per-shard RNG streams, not from shard
+// scheduling.
+type Partition struct {
+	// Shards lists the directory IDs of each shard in ascending ID order
+	// (parents before children, since AddDir always assigns increasing IDs).
+	Shards [][]int
+
+	dirShard []int // shard index per directory ID
+}
+
+// ShardWeight estimates the processing cost of one directory; the partitioner
+// balances the sum of weights across shards. A nil weight counts each
+// directory once.
+type ShardWeight func(d *Dir) float64
+
+// PartitionSubtrees partitions the tree into at most maxShards balanced
+// shards using longest-processing-time-first assignment of the root's
+// immediate subtrees. If the tree has fewer top-level subtrees than
+// maxShards, the shard count is the subtree count (plus the root shard).
+func PartitionSubtrees(t *Tree, maxShards int, weight ShardWeight) *Partition {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	if weight == nil {
+		weight = func(*Dir) float64 { return 1 }
+	}
+	n := t.Len()
+	// Aggregate subtree weights bottom-up: children always have larger IDs
+	// than their parent, so one reverse sweep accumulates whole subtrees.
+	subtree := make([]float64, n)
+	for id := n - 1; id >= 1; id-- {
+		subtree[id] += weight(&t.Dirs[id])
+		subtree[t.Dirs[id].Parent] += subtree[id]
+	}
+	// Top-level ancestor of every directory (-1 for the root itself).
+	top := make([]int, n)
+	top[0] = -1
+	for id := 1; id < n; id++ {
+		if t.Dirs[id].Parent == 0 {
+			top[id] = id
+		} else {
+			top[id] = top[t.Dirs[id].Parent]
+		}
+	}
+	// Greedy LPT: heaviest subtree first onto the lightest shard, with
+	// deterministic tie-breaks (weight desc, then ID asc; lightest shard by
+	// load, then index).
+	var roots []int
+	for id := 1; id < n; id++ {
+		if t.Dirs[id].Parent == 0 {
+			roots = append(roots, id)
+		}
+	}
+	shardCount := maxShards
+	if len(roots) < shardCount {
+		shardCount = len(roots)
+	}
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if subtree[roots[i]] != subtree[roots[j]] {
+			return subtree[roots[i]] > subtree[roots[j]]
+		}
+		return roots[i] < roots[j]
+	})
+	loads := make([]float64, shardCount)
+	rootShard := make(map[int]int, len(roots))
+	for _, r := range roots {
+		best := 0
+		for s := 1; s < shardCount; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		rootShard[r] = best
+		loads[best] += subtree[r]
+	}
+	p := &Partition{
+		Shards:   make([][]int, shardCount),
+		dirShard: make([]int, n),
+	}
+	for id := 0; id < n; id++ {
+		s := 0
+		if top[id] >= 0 {
+			s = rootShard[top[id]]
+		}
+		p.dirShard[id] = s
+		p.Shards[s] = append(p.Shards[s], id)
+	}
+	return p
+}
+
+// ShardOf returns the shard index owning the given directory ID.
+func (p *Partition) ShardOf(dirID int) int {
+	if dirID < 0 || dirID >= len(p.dirShard) {
+		return 0
+	}
+	return p.dirShard[dirID]
+}
+
+// Len returns the number of shards.
+func (p *Partition) Len() int { return len(p.Shards) }

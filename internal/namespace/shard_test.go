@@ -1,0 +1,109 @@
+package namespace
+
+import (
+	"reflect"
+	"testing"
+
+	"impressions/internal/stats"
+)
+
+func TestPartitionSubtreesCoversEveryDirOnce(t *testing.T) {
+	tree := GenerateTree(stats.NewRNG(3), 5000, ShapeGenerative)
+	for _, shards := range []int{1, 2, 4, 16} {
+		part := PartitionSubtrees(tree, shards, nil)
+		if part.Len() < 1 || part.Len() > shards {
+			t.Fatalf("requested %d shards, got %d", shards, part.Len())
+		}
+		seen := make([]int, tree.Len())
+		for s, dirs := range part.Shards {
+			prev := -1
+			for _, id := range dirs {
+				seen[id]++
+				if id <= prev {
+					t.Fatalf("shard %d not in ascending ID order", s)
+				}
+				prev = id
+				if part.ShardOf(id) != s {
+					t.Fatalf("ShardOf(%d) = %d, want %d", id, part.ShardOf(id), s)
+				}
+			}
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("shards=%d: dir %d appears %d times", shards, id, n)
+			}
+		}
+	}
+}
+
+func TestPartitionSubtreesKeepsSubtreesWhole(t *testing.T) {
+	tree := GenerateTree(stats.NewRNG(11), 2000, ShapeGenerative)
+	part := PartitionSubtrees(tree, 8, nil)
+	for id := 1; id < tree.Len(); id++ {
+		parent := tree.Dirs[id].Parent
+		if parent == 0 {
+			continue // top-level subtree roots may land anywhere
+		}
+		if part.ShardOf(id) != part.ShardOf(parent) {
+			t.Fatalf("dir %d (shard %d) split from parent %d (shard %d)",
+				id, part.ShardOf(id), parent, part.ShardOf(parent))
+		}
+	}
+}
+
+func TestPartitionSubtreesDeterministic(t *testing.T) {
+	tree := GenerateTree(stats.NewRNG(5), 1000, ShapeGenerative)
+	a := PartitionSubtrees(tree, 4, nil)
+	b := PartitionSubtrees(tree, 4, nil)
+	if !reflect.DeepEqual(a.Shards, b.Shards) {
+		t.Fatal("partition is not deterministic")
+	}
+}
+
+func TestPartitionSubtreesBalance(t *testing.T) {
+	tree := GenerateTree(stats.NewRNG(9), 10000, ShapeGenerative)
+	part := PartitionSubtrees(tree, 4, nil)
+	if part.Len() < 2 {
+		t.Skip("tree produced fewer than 2 shards")
+	}
+	max, min := 0, tree.Len()
+	for _, dirs := range part.Shards {
+		if len(dirs) > max {
+			max = len(dirs)
+		}
+		if len(dirs) < min {
+			min = len(dirs)
+		}
+	}
+	// LPT on preferential-attachment trees can be lopsided when one subtree
+	// dominates, but the largest shard must never exceed the whole tree minus
+	// the other shards' minimum contribution.
+	if max >= tree.Len() {
+		t.Fatalf("one shard holds the entire tree (%d dirs)", max)
+	}
+	if min == 0 {
+		t.Fatalf("empty shard produced alongside max=%d", max)
+	}
+}
+
+func TestPartitionDegenerateTrees(t *testing.T) {
+	// Deep chains have exactly one top-level subtree: everything (except the
+	// root) collapses into one shard.
+	deep := GenerateTree(stats.NewRNG(1), 50, ShapeDeep)
+	part := PartitionSubtrees(deep, 8, nil)
+	if part.Len() != 1 {
+		t.Fatalf("deep tree: got %d shards, want 1", part.Len())
+	}
+	// Flat trees split their dirs across all requested shards.
+	flat := GenerateTree(stats.NewRNG(1), 100, ShapeFlat)
+	part = PartitionSubtrees(flat, 4, nil)
+	if part.Len() != 4 {
+		t.Fatalf("flat tree: got %d shards, want 4", part.Len())
+	}
+	// Single-directory tree.
+	single := GenerateTree(stats.NewRNG(1), 1, ShapeGenerative)
+	part = PartitionSubtrees(single, 4, nil)
+	if part.Len() != 1 || part.ShardOf(0) != 0 {
+		t.Fatalf("single-dir tree: unexpected partition %+v", part.Shards)
+	}
+}

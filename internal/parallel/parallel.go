@@ -1,0 +1,74 @@
+// Package parallel provides the deterministic sharded worker pool shared by
+// the generation pipeline, the constraint resolver, and the materializer.
+//
+// The invariant every caller relies on: shard boundaries are a function of
+// the item count only — never of the worker count — and any randomness is
+// derived from the shard index, so results are identical at every
+// parallelism level and the worker pool only changes wall-clock time.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShardSize is the fixed number of items per shard used by the
+// sharded phases (metadata assignment, pool sampling).
+const DefaultShardSize = 4096
+
+// Shards returns the shard count for n items under DefaultShardSize.
+func Shards(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + DefaultShardSize - 1) / DefaultShardSize
+}
+
+// Bounds returns the half-open item range [lo, hi) of shard s for n items.
+func Bounds(n, s int) (lo, hi int) {
+	lo = s * DefaultShardSize
+	hi = lo + DefaultShardSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Run executes fn(shard) for every shard index in [0, shards) on up to
+// workers goroutines. Shards are claimed through an atomic counter, so the
+// set of shards each worker executes is scheduling-dependent — fn must
+// derive any randomness it needs from the shard index, not from worker
+// identity. With workers <= 1 the shards run inline in order, which is also
+// the degenerate deterministic reference path. fn is responsible for its own
+// error collection (e.g. a mutex-guarded first-error slot checked between
+// shards); Run itself never fails.
+func Run(workers, shards int, fn func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,41 @@
+package parallel
+
+import "testing"
+
+// TestRunCoversAllShards exercises the worker pool under the race detector:
+// every shard must run exactly once regardless of worker count.
+func TestRunCoversAllShards(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		const shards = 97
+		hits := make([]int32, shards)
+		Run(workers, shards, func(s int) { hits[s]++ })
+		for s, n := range hits {
+			if n != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times", workers, s, n)
+			}
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	const n = 2*DefaultShardSize + 123
+	if got := Shards(n); got != 3 {
+		t.Fatalf("Shards(%d) = %d, want 3", n, got)
+	}
+	covered := 0
+	prevHi := 0
+	for s := 0; s < Shards(n); s++ {
+		lo, hi := Bounds(n, s)
+		if lo != prevHi {
+			t.Fatalf("shard %d starts at %d, want %d", s, lo, prevHi)
+		}
+		covered += hi - lo
+		prevHi = hi
+	}
+	if covered != n {
+		t.Fatalf("shards cover %d items, want %d", covered, n)
+	}
+	if Shards(0) != 0 {
+		t.Fatalf("Shards(0) should be 0")
+	}
+}

@@ -36,12 +36,49 @@ func (r *RNG) Seed() int64 { return r.seed }
 // get their own stream and remain reproducible regardless of how many samples
 // the other subsystems draw.
 func (r *RNG) Fork(label string) *RNG {
+	return NewRNG(r.seed ^ fnv1a(label))
+}
+
+// SplitStream derives a child RNG keyed by an arbitrary string (a file path,
+// a shard name, ...). Unlike Fork's plain XOR, the child seed is passed
+// through a SplitMix64 finalizer so that structurally similar keys ("shard-1",
+// "shard-2", ...) still yield well-separated streams. SplitStream reads only
+// the parent's immutable seed — it never consumes parent state — so any number
+// of goroutines may split the same parent concurrently, which is the
+// foundation of the deterministic parallel generation pipeline: work items
+// derive their streams from stable keys, making the image independent of
+// worker scheduling.
+func (r *RNG) SplitStream(key string) *RNG {
+	return NewRNG(int64(splitmix64(uint64(r.seed) ^ uint64(fnv1a(key)))))
+}
+
+// SplitN derives the i-th child stream of this RNG. Like SplitStream it is a
+// pure function of the parent seed and the index, safe for concurrent use,
+// and produces well-separated streams for consecutive indices. It is the
+// allocation-free variant used on hot sharded paths (per-shard metadata
+// assignment, per-file content generation).
+func (r *RNG) SplitN(i uint64) *RNG {
+	return NewRNG(int64(splitmix64(uint64(r.seed) ^ splitmix64(i+0x632be59bd9b4e019))))
+}
+
+// fnv1a hashes a label with 64-bit FNV-1a.
+func fnv1a(label string) int64 {
 	h := int64(1469598103934665603) // FNV-1a offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= int64(label[i])
 		h *= 1099511628211
 	}
-	return NewRNG(r.seed ^ h)
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood); it drives the
+// seed derivation of SplitStream/SplitN so that correlated inputs map to
+// uncorrelated child seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Float64 returns a uniform value in [0,1).
