@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint fmt ci
+# Micro-benchmarks tracked in the BENCH_<date>.json perf trajectory.
+MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|FilePlacement|ConstraintResolution|ImageGeneration|Materialize|Content|FindWorkload|SearchIndexing|LayoutScore)
+BENCH_TIME ?= 1x
+BENCH_DATE := $(shell date +%Y%m%d)
+
+.PHONY: build test race bench bench-smoke bench-json lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +27,16 @@ bench:
 # One iteration of every benchmark, the CI smoke job.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Run the micro-benchmarks and write a machine-readable BENCH_<date>.json
+# (name, ns/op, MB/s, allocs/op + custom metrics) so the perf trajectory is
+# tracked from PR 2 onward; CI uploads the file as an artifact. Override
+# BENCH_TIME (e.g. BENCH_TIME=2s) for stable local numbers.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(MICRO_BENCH)' -benchtime $(BENCH_TIME) -benchmem . > bench-micro.out
+	$(GO) run ./cmd/benchjson < bench-micro.out > BENCH_$(BENCH_DATE).json
+	@rm -f bench-micro.out
+	@echo "wrote BENCH_$(BENCH_DATE).json"
 
 lint:
 	$(GO) vet ./...

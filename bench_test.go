@@ -169,13 +169,49 @@ func BenchmarkHybridFileSizeSample(b *testing.B) {
 	}
 }
 
-// BenchmarkNamespaceGeneration measures building a 10,000-directory namespace
-// with the generative model.
-func BenchmarkNamespaceGeneration(b *testing.B) {
+// benchNamespace builds a namespace with the generative model at the given
+// worker count; output is identical at every count (asserted by the
+// namespace determinism tests), so the Serial/Parallel pair isolates the
+// speculative-attachment speedup.
+func benchNamespace(b *testing.B, nDirs, workers int) {
+	b.Helper()
 	b.ReportAllocs()
+	dirs := 0
 	for i := 0; i < b.N; i++ {
 		rng := stats.NewRNG(int64(i))
-		_ = namespace.GenerateTree(rng, 10000, namespace.ShapeGenerative)
+		tree := namespace.GenerateTreeParallel(rng, nDirs, namespace.ShapeGenerative, workers)
+		dirs += tree.Len()
+	}
+	b.ReportMetric(float64(dirs)/b.Elapsed().Seconds(), "dirs/s")
+}
+
+// BenchmarkNamespaceGeneration measures building a 10,000-directory namespace
+// with the generative model (single worker).
+func BenchmarkNamespaceGeneration(b *testing.B) { benchNamespace(b, 10000, 1) }
+
+// BenchmarkNamespaceGenerationParallel uses one proposal worker per CPU.
+func BenchmarkNamespaceGenerationParallel(b *testing.B) {
+	benchNamespace(b, 10000, runtime.NumCPU())
+}
+
+// BenchmarkNamespaceGeneration100k scales the skeleton build to 100,000
+// directories, where speculative batches are large enough for the proposal
+// workers to matter.
+func BenchmarkNamespaceGeneration100k(b *testing.B) { benchNamespace(b, 100000, 1) }
+
+// BenchmarkNamespaceGeneration100kParallel is the multi-worker counterpart.
+func BenchmarkNamespaceGeneration100kParallel(b *testing.B) {
+	benchNamespace(b, 100000, runtime.NumCPU())
+}
+
+// BenchmarkTreePath measures directory path construction over a deep
+// generative tree (the satellite fix replaced O(depth²) concatenation with a
+// two-pass fill).
+func BenchmarkTreePath(b *testing.B) {
+	tree := namespace.GenerateTree(stats.NewRNG(1), 10000, namespace.ShapeGenerative)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tree.Path(i % tree.Len())
 	}
 }
 
@@ -281,13 +317,34 @@ func BenchmarkMaterializeSerial(b *testing.B) { benchMaterialize(b, 1) }
 func BenchmarkMaterializeParallel(b *testing.B) { benchMaterialize(b, runtime.NumCPU()) }
 
 // BenchmarkContentHybridText measures word-model text generation throughput.
+// The steady state must be allocation-free: generators draw scratch blocks
+// from the shared pool.
 func BenchmarkContentHybridText(b *testing.B) {
 	gen := content.NewTextGenerator(content.NewHybridModel(0.2))
 	rng := stats.NewRNG(1)
 	const size = 1 << 20
 	b.SetBytes(size)
+	b.ReportAllocs()
+	var cw content.CountingWriter
 	for i := 0; i < b.N; i++ {
-		var cw content.CountingWriter
+		cw.N = 0
+		if err := gen.Generate(&cw, size, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContentTextGeneric measures the unfused per-word path (a model
+// without a fillBlock fast path).
+func BenchmarkContentTextGeneric(b *testing.B) {
+	gen := content.NewTextGenerator(content.NewLengthModel())
+	rng := stats.NewRNG(1)
+	const size = 1 << 20
+	b.SetBytes(size)
+	b.ReportAllocs()
+	var cw content.CountingWriter
+	for i := 0; i < b.N; i++ {
+		cw.N = 0
 		if err := gen.Generate(&cw, size, rng); err != nil {
 			b.Fatal(err)
 		}
@@ -300,8 +357,10 @@ func BenchmarkContentBinary(b *testing.B) {
 	rng := stats.NewRNG(1)
 	const size = 1 << 20
 	b.SetBytes(size)
+	b.ReportAllocs()
+	var cw content.CountingWriter
 	for i := 0; i < b.N; i++ {
-		var cw content.CountingWriter
+		cw.N = 0
 		if err := gen.Generate(&cw, size, rng); err != nil {
 			b.Fatal(err)
 		}

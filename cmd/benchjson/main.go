@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark report on stdout, so CI can archive one machine-readable
+// BENCH_<date>.json per run and the performance trajectory of the hot paths
+// (content throughput, skeleton build, materialization) stays tracked across
+// PRs. See `make bench-json`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is the throughput when the benchmark calls SetBytes (0 if not).
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// BytesPerOp and AllocsPerOp come from -benchmem / b.ReportAllocs.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values (unit -> value).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GOOS        string    `json:"goos,omitempty"`
+	GOARCH      string    `json:"goarch,omitempty"`
+	Pkg         string    `json:"pkg,omitempty"`
+	CPU         string    `json:"cpu,omitempty"`
+	Benchmarks  []Entry   `json:"benchmarks"`
+}
+
+func main() {
+	report, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encoding report: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and collects benchmark lines and the
+// goos/goarch/pkg/cpu context headers.
+func Parse(r io.Reader) (*Report, error) {
+	report := &Report{GeneratedAt: time.Now().UTC()}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			report.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if e, ok := parseBenchLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading input: %w", err)
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return report, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-8  123  456 ns/op  ..." line.
+func parseBenchLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters}
+	// The remainder is value-unit pairs.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+			seenNs = true
+		case "MB/s":
+			e.MBPerS = val
+		case "B/op":
+			v := val
+			e.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			e.AllocsPerOp = &v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, seenNs
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: impressions
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkContentHybridText 	     531	   4484228 ns/op	 233.84 MB/s	      47 B/op	       0 allocs/op
+BenchmarkNamespaceGeneration-8 	     884	   2671037 ns/op	   3743867 dirs/s	 1300734 B/op	   10158 allocs/op
+BenchmarkTreePath 	15136904	       154.3 ns/op	     120 B/op	       2 allocs/op
+PASS
+ok  	impressions	12.662s
+`
+
+func TestParse(t *testing.T) {
+	report, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GOOS != "linux" || report.GOARCH != "amd64" || report.Pkg != "impressions" {
+		t.Errorf("context headers not captured: %+v", report)
+	}
+	if !strings.Contains(report.CPU, "Xeon") {
+		t.Errorf("cpu header not captured: %q", report.CPU)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+
+	text := report.Benchmarks[0]
+	if text.Name != "BenchmarkContentHybridText" || text.Iterations != 531 {
+		t.Errorf("unexpected first entry: %+v", text)
+	}
+	if text.NsPerOp != 4484228 || text.MBPerS != 233.84 {
+		t.Errorf("ns/op or MB/s wrong: %+v", text)
+	}
+	if text.AllocsPerOp == nil || *text.AllocsPerOp != 0 {
+		t.Errorf("allocs/op wrong: %+v", text.AllocsPerOp)
+	}
+
+	ns := report.Benchmarks[1]
+	if ns.Name != "BenchmarkNamespaceGeneration" {
+		t.Errorf("GOMAXPROCS suffix should be stripped: %q", ns.Name)
+	}
+	if ns.Metrics["dirs/s"] != 3743867 {
+		t.Errorf("custom metric not captured: %+v", ns.Metrics)
+	}
+
+	if report.Benchmarks[2].NsPerOp != 154.3 {
+		t.Errorf("fractional ns/op wrong: %+v", report.Benchmarks[2])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("expected an error for input without benchmark lines")
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"Benchmark",
+		"BenchmarkX notanumber 5 ns/op",
+		"BenchmarkX 10 garbage ns/op",
+		"BenchmarkX 10 5 widgets", // no ns/op
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q should not parse", line)
+		}
+	}
+}

@@ -477,7 +477,10 @@ func (r *Resolver) selectSubset(pool []float64, p Problem) ([]float64, float64, 
 			si := sort.Search(len(skipped), func(i int) bool { return pool[skipped[i]] >= want })
 			bestErr := math.Abs(sum - p.TargetSum)
 			bestSwap := -1
-			for _, cand := range neighborhood(si, len(skipped)) {
+			for cand := si - 1; cand <= si+1; cand++ {
+				if cand < 0 || cand >= len(skipped) {
+					continue
+				}
 				candidate := pool[skipped[cand]]
 				newErr := math.Abs(sum - current + candidate - p.TargetSum)
 				if newErr < bestErr {
@@ -488,9 +491,8 @@ func (r *Resolver) selectSubset(pool []float64, p Problem) ([]float64, float64, 
 			if bestSwap >= 0 {
 				sIdx := skipped[bestSwap]
 				sum = sum - current + pool[sIdx]
-				chosen[ci], skipped[bestSwap] = sIdx, cIdx
-				// Keep skipped sorted: re-sort lazily only when needed.
-				sortNeighborhood(pool, skipped, bestSwap)
+				chosen[ci] = sIdx
+				reinsertSorted(pool, skipped, bestSwap, cIdx)
 				improved = true
 				if math.Abs(sum-p.TargetSum) <= tolerance {
 					return gather(pool, chosen), sum, true
@@ -501,26 +503,23 @@ func (r *Resolver) selectSubset(pool []float64, p Problem) ([]float64, float64, 
 	return gather(pool, chosen), sum, math.Abs(sum-p.TargetSum) <= tolerance
 }
 
-// neighborhood returns candidate indices around a binary-search insertion
-// point, clamped to [0, n).
-func neighborhood(center, n int) []int {
-	out := make([]int, 0, 3)
-	for _, idx := range []int{center - 1, center, center + 1} {
-		if idx >= 0 && idx < n {
-			out = append(out, idx)
-		}
-	}
-	return out
-}
-
-// sortNeighborhood restores sortedness of skipped around position i after a
-// single element was replaced, using insertion-sort style swaps.
-func sortNeighborhood(pool []float64, skipped []int, i int) {
-	for j := i; j > 0 && pool[skipped[j]] < pool[skipped[j-1]]; j-- {
-		skipped[j], skipped[j-1] = skipped[j-1], skipped[j]
-	}
-	for j := i; j < len(skipped)-1 && pool[skipped[j]] > pool[skipped[j+1]]; j++ {
-		skipped[j], skipped[j+1] = skipped[j+1], skipped[j]
+// reinsertSorted removes skipped[at] and inserts newIdx at its sorted
+// position with one binary search and one copy shift. The previous
+// implementation bubbled the new element into place with pairwise swaps —
+// O(distance) swap operations per call, which degenerated to quadratic passes
+// when heavy-tailed pools put replacements far from their slot.
+func reinsertSorted(pool []float64, skipped []int, at, newIdx int) {
+	v := pool[newIdx]
+	pos := sort.Search(len(skipped), func(i int) bool { return pool[skipped[i]] >= v })
+	switch {
+	case pos > at+1:
+		copy(skipped[at:pos-1], skipped[at+1:pos])
+		skipped[pos-1] = newIdx
+	case pos <= at:
+		copy(skipped[pos+1:at+1], skipped[pos:at])
+		skipped[pos] = newIdx
+	default: // pos == at or at+1: the slot itself
+		skipped[at] = newIdx
 	}
 }
 

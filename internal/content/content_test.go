@@ -314,6 +314,138 @@ func TestCountingWriter(t *testing.T) {
 	}
 }
 
+// TestTextGeneratorLineWidthRegression pins the wrap-before-word fix: the
+// old generator appended the separator after the overflowing word, so lines
+// ran past the 72-character width. No built-in model emits words longer than
+// the width, so every line must now fit (both the fused hybrid fast path and
+// the generic per-word path).
+func TestTextGeneratorLineWidthRegression(t *testing.T) {
+	models := []WordModel{
+		NewHybridModel(0.2),     // fused fillBlock path
+		NewHybridModel(1.0),     // all-tail fused path
+		NewPopularityModel(1.0), // generic path
+		NewLengthModel(),        // generic path, synthetic words
+		NewSingleWordModel(""),  // generic path, fixed word
+	}
+	for _, m := range models {
+		g := NewTextGenerator(m)
+		var buf bytes.Buffer
+		if err := g.Generate(&buf, 300_000, stats.NewRNG(21)); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(buf.String(), "\n")
+		for i, line := range lines {
+			if len(line) > TextLineWidth {
+				t.Fatalf("%s: line %d has %d chars (> %d): %q",
+					m.Name(), i, len(line), TextLineWidth, line)
+			}
+		}
+		if len(lines) < 2 {
+			t.Fatalf("%s: expected wrapped lines in 300 KB of text", m.Name())
+		}
+	}
+}
+
+// TestContentEdgeSizes drives every registry kind through the awkward sizes:
+// empty files, files smaller than one word, and sizes straddling the 32 KB
+// block boundary.
+func TestContentEdgeSizes(t *testing.T) {
+	kinds := []Kind{KindDefault, KindTextSingleWord, KindTextModel, KindImage, KindBinary, KindZero}
+	exts := []string{"txt", "jpg", "xyz", ""}
+	sizes := []int64{0, 1, 2, 3, 5, 17, blockSize - 1, blockSize, blockSize + 1, 2*blockSize + 17}
+	for _, kind := range kinds {
+		r := NewRegistry(kind)
+		for _, ext := range exts {
+			gen := r.ForExtension(ext)
+			for _, size := range sizes {
+				var cw CountingWriter
+				if err := gen.Generate(&cw, size, stats.NewRNG(size+1)); err != nil {
+					t.Fatalf("%s/%s size %d: %v", kind, ext, size, err)
+				}
+				if cw.N != size {
+					t.Fatalf("%s/%s: generated %d bytes, want %d", kind, ext, cw.N, size)
+				}
+			}
+		}
+	}
+}
+
+// TestContentMultiGB streams a multi-gigabyte file for each kind into a
+// CountingWriter, exercising the int64 paths past 2^31. The race detector
+// build (and -short) shrinks the size: the point there is the overflow
+// arithmetic, not the throughput.
+func TestContentMultiGB(t *testing.T) {
+	size := int64(2)<<30 + 7 // just past 2 GiB
+	if testing.Short() || raceEnabled {
+		size = int64(1)<<26 + 7
+	}
+	for _, kind := range []Kind{KindDefault, KindTextSingleWord, KindTextModel, KindImage, KindBinary, KindZero} {
+		r := NewRegistry(kind)
+		// "txt" routes to the kind's text policy, "xyz" to its default
+		// (binary-like) policy; both must produce exactly size bytes.
+		for _, ext := range []string{"txt", "xyz"} {
+			var cw CountingWriter
+			if err := r.ForExtension(ext).Generate(&cw, size, stats.NewRNG(1)); err != nil {
+				t.Fatalf("%s/%s: %v", kind, ext, err)
+			}
+			if cw.N != size {
+				t.Fatalf("%s/%s: generated %d bytes, want %d", kind, ext, cw.N, size)
+			}
+		}
+	}
+}
+
+// TestTextGeneratorSteadyStateAllocs asserts the pooled block engine settles
+// into allocation-free generation.
+func TestTextGeneratorSteadyStateAllocs(t *testing.T) {
+	g := NewTextGenerator(NewHybridModel(0.2))
+	rng := stats.NewRNG(9)
+	var cw CountingWriter
+	// Warm the pool.
+	if err := g.Generate(&cw, 1<<16, rng); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := g.Generate(&cw, 1<<16, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The shared pool may be drained by a GC between runs; anything beyond
+	// the occasional refill indicates a per-word or per-block regression.
+	if allocs > 1 {
+		t.Errorf("steady-state Generate performs %.1f allocs per call, want ~0", allocs)
+	}
+}
+
+// TestHybridFusedMatchesModelMix verifies the fused single-draw path still
+// produces the configured body/tail blend.
+func TestHybridFusedMatchesModelMix(t *testing.T) {
+	known := map[string]bool{}
+	for _, w := range popularWords {
+		known[w] = true
+	}
+	for _, tailProb := range []float64{0, 0.2, 0.5, 1} {
+		m := NewHybridModel(tailProb)
+		rng := stats.NewRNG(13)
+		tail := 0
+		const n = 20000
+		var buf []byte
+		for i := 0; i < n; i++ {
+			buf = m.AppendWord(buf[:0], rng)
+			if !known[string(buf)] {
+				tail++
+			}
+		}
+		got := float64(tail) / n
+		// Short synthetic tail words collide with popular words ("he", "an",
+		// ...) roughly 7% of the time, so the observed tail rate sits at or
+		// below the configured one.
+		if got > tailProb+0.02 || got < tailProb-0.1 {
+			t.Errorf("tailProb=%.1f: observed tail fraction %.3f", tailProb, got)
+		}
+	}
+}
+
 // Property: every generator produces exactly the requested number of bytes
 // for arbitrary sizes.
 func TestQuickGeneratorsExactSize(t *testing.T) {

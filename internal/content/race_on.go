@@ -1,0 +1,7 @@
+//go:build race
+
+package content
+
+// raceEnabled reports whether the race detector instruments this build; the
+// multi-gigabyte content tests shrink their sizes under it.
+const raceEnabled = true

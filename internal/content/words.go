@@ -10,6 +10,8 @@
 package content
 
 import (
+	"sort"
+
 	"impressions/internal/stats"
 )
 
@@ -48,6 +50,18 @@ type WordModel interface {
 	Name() string
 }
 
+// WordAppender is the allocation-free fast path of a word model: the next
+// word is appended directly to dst instead of being returned as a string.
+// All built-in models implement it; TextGenerator uses it to fill content
+// blocks without any per-word allocation. External WordModel implementations
+// that do not implement WordAppender are adapted via Word (one string
+// allocation per word).
+type WordAppender interface {
+	// AppendWord appends the next word's bytes to dst and returns the
+	// extended slice.
+	AppendWord(dst []byte, rng *stats.RNG) []byte
+}
+
 // PopularityModel draws words from the popular-word list with Zipf-weighted
 // ranks (the paper's word-popularity model).
 type PopularityModel struct {
@@ -58,10 +72,7 @@ type PopularityModel struct {
 // NewPopularityModel returns a word-popularity model over the built-in list
 // with Zipf exponent s (1.0 is the classical Zipf law; the paper's model).
 func NewPopularityModel(s float64) *PopularityModel {
-	return &PopularityModel{
-		words: popularWords,
-		zipf:  stats.NewZipf(s, len(popularWords)),
-	}
+	return newPopularityModel(popularWords, s)
 }
 
 // NewPopularityModelWithWords builds a popularity model over a caller-
@@ -70,12 +81,26 @@ func NewPopularityModelWithWords(words []string, s float64) *PopularityModel {
 	if len(words) == 0 {
 		words = popularWords
 	}
+	return newPopularityModel(words, s)
+}
+
+func newPopularityModel(words []string, s float64) *PopularityModel {
 	return &PopularityModel{words: words, zipf: stats.NewZipf(s, len(words))}
 }
 
 // Word returns a word with Zipf-distributed rank.
 func (m *PopularityModel) Word(rng *stats.RNG) string {
 	return m.words[m.zipf.SampleInt(rng)-1]
+}
+
+// AppendWord implements WordAppender without allocating.
+func (m *PopularityModel) AppendWord(dst []byte, rng *stats.RNG) []byte {
+	return m.appendWordU(dst, rng.Float64())
+}
+
+// appendWordU appends the word selected by an externally-drawn uniform.
+func (m *PopularityModel) appendWordU(dst []byte, u float64) []byte {
+	return append(dst, m.words[m.zipf.SampleIntU(u)-1]...)
 }
 
 // Name implements WordModel.
@@ -88,10 +113,15 @@ func (m *PopularityModel) Vocabulary() int { return len(m.words) }
 // word-length frequency model of Sigurd et al. (used by the paper to cover
 // the heavy tail of word popularity without keeping an exhaustive word list).
 // The length distribution is a gamma-like discrete curve peaking at 3-4
-// letters; letters are drawn with English letter frequencies.
+// letters; letters are drawn with English letter frequencies. Both draws go
+// through O(1) alias tables; the length table is indexed directly (index i is
+// length i+1), so the model carries no category name strings.
 type LengthModel struct {
-	lengthDist stats.Categorical
+	lengths stats.AliasTable
 }
+
+// MaxSyntheticWordLength is the longest word the length model can emit.
+const MaxSyntheticWordLength = 24
 
 // englishLetters orders letters by frequency; sampling weights follow
 // approximate English letter frequencies.
@@ -105,15 +135,7 @@ var letterWeights = []float64{
 // NewLengthModel builds the word-length frequency model.
 func NewLengthModel() *LengthModel {
 	// P(length = k) ∝ k * 0.45^k (discrete gamma-like curve, peak near 3).
-	names := make([]string, 24)
-	weights := make([]float64, 24)
-	p := 1.0
-	for k := 1; k <= 24; k++ {
-		p = float64(k) * pow(0.45, k)
-		names[k-1] = string(rune('0' + k%10))
-		weights[k-1] = p
-	}
-	return &LengthModel{lengthDist: stats.NewCategorical(names, weights)}
+	return &LengthModel{lengths: stats.NewAliasTable(lengthWeights())}
 }
 
 func pow(base float64, exp int) float64 {
@@ -124,41 +146,128 @@ func pow(base float64, exp int) float64 {
 	return v
 }
 
+// lengthWeights returns the unnormalized word-length distribution
+// P(length = k) ∝ k * 0.45^k for k in 1..MaxSyntheticWordLength.
+func lengthWeights() []float64 {
+	weights := make([]float64, MaxSyntheticWordLength)
+	for k := 1; k <= MaxSyntheticWordLength; k++ {
+		weights[k-1] = float64(k) * pow(0.45, k)
+	}
+	return weights
+}
+
 // Word returns a synthetic word with model-distributed length.
 func (m *LengthModel) Word(rng *stats.RNG) string {
-	length := m.lengthDist.SampleIndex(rng) + 1
-	buf := make([]byte, length)
-	for i := range buf {
-		buf[i] = sampleLetter(rng)
-	}
-	return string(buf)
+	return string(m.AppendWord(nil, rng))
+}
+
+// AppendWord implements WordAppender without allocating.
+func (m *LengthModel) AppendWord(dst []byte, rng *stats.RNG) []byte {
+	return m.appendWordU(dst, rng.Float64(), rng)
+}
+
+// appendWordU draws the word length from an externally-drawn uniform; the
+// letters come from fresh rng draws.
+func (m *LengthModel) appendWordU(dst []byte, u float64, rng *stats.RNG) []byte {
+	return appendLetters(dst, m.lengths.SampleU(u)+1, rng)
 }
 
 // Name implements WordModel.
 func (m *LengthModel) Name() string { return "word-length" }
 
-var letterCategorical = stats.NewCategorical(letterNames(), letterWeights)
+// letterTable quantizes the English letter frequencies onto 1024 slots so one
+// 64-bit draw yields six letters (10 bits each): the per-letter cost drops
+// from a uniform draw plus an alias lookup to a shift and a table read. The
+// quantization error is below 0.1 percentage points per letter — invisible in
+// synthetic tail words.
+var letterTable = buildLetterTable()
 
-func letterNames() []string {
-	names := make([]string, len(englishLetters))
-	for i, c := range englishLetters {
-		names[i] = string(c)
+// buildLetterTable apportions the 1024 slots by largest remainder, so every
+// letter (even 'z' at 0.065%) keeps at least its rounded share.
+func buildLetterTable() [1024]byte {
+	const slots = 1024
+	total := 0.0
+	for _, w := range letterWeights {
+		total += w
 	}
-	return names
+	counts := make([]int, len(letterWeights))
+	type remainder struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]remainder, len(letterWeights))
+	used := 0
+	for i, w := range letterWeights {
+		exact := w / total * slots
+		counts[i] = int(exact)
+		used += counts[i]
+		rems[i] = remainder{i, exact - float64(counts[i])}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; used < slots; i++ {
+		counts[rems[i%len(rems)].idx]++
+		used++
+	}
+	var tab [1024]byte
+	pos := 0
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			tab[pos] = englishLetters[i]
+			pos++
+		}
+	}
+	return tab
 }
 
-func sampleLetter(rng *stats.RNG) byte {
-	return englishLetters[letterCategorical.SampleIndex(rng)]
+// appendLetters appends length English-frequency letters to dst, consuming
+// one 64-bit draw per six letters.
+func appendLetters(dst []byte, length int, rng *stats.RNG) []byte {
+	var bits uint64
+	avail := 0
+	for i := 0; i < length; i++ {
+		if avail == 0 {
+			bits = rng.Uint64()
+			avail = 6
+		}
+		dst = append(dst, letterTable[bits&1023])
+		bits >>= 10
+		avail--
+	}
+	return dst
 }
 
 // HybridModel combines the popularity model for the body of common words with
 // the length model for the long tail, as §3.6 describes: maintaining an
 // exhaustive word list is slow, so the tail is synthesized instead. TailProb
 // is the probability that any given word comes from the tail.
+//
+// Models built by NewHybridModel fuse the body/tail selection, the body word
+// choice, and the tail word-length choice into one combined alias table, so
+// each word costs a single uniform draw (plus letter bits for tail words).
+// The public fields are treated as read-only after construction. Hand-built
+// literals (not recommended) skip the fused path and must populate both
+// Popularity and Length themselves.
 type HybridModel struct {
 	Popularity *PopularityModel
 	Length     *LengthModel
 	TailProb   float64
+
+	// combined indexes [0, vocab) onto popular words and [vocab, vocab+24)
+	// onto tail word lengths 1..24, pre-weighted by 1-TailProb and TailProb.
+	combined stats.AliasTable
+	vocab    int
+	fused    bool
+	// wordsFixed packs " word" at a fixed 16-byte stride so the block filler
+	// emits a body word as one constant-size copy (two SSE moves) instead of
+	// a string-header load plus a memmove call; wordLens[i] is the word's
+	// length without the separator.
+	wordsFixed [][16]byte
+	wordLens   []uint8
 }
 
 // NewHybridModel builds the hybrid word model with the given tail
@@ -170,20 +279,108 @@ func NewHybridModel(tailProb float64) *HybridModel {
 	if tailProb > 1 {
 		tailProb = 1
 	}
-	return &HybridModel{
+	m := &HybridModel{
 		Popularity: NewPopularityModel(1.0),
 		Length:     NewLengthModel(),
 		TailProb:   tailProb,
 	}
+	m.vocab = m.Popularity.Vocabulary()
+	weights := make([]float64, m.vocab+MaxSyntheticWordLength)
+	for i := 0; i < m.vocab; i++ {
+		weights[i] = (1 - tailProb) * m.Popularity.zipf.PMF(i+1)
+	}
+	lw := lengthWeights()
+	lwTotal := 0.0
+	for _, w := range lw {
+		lwTotal += w
+	}
+	for k, w := range lw {
+		weights[m.vocab+k] = tailProb * w / lwTotal
+	}
+	m.combined = stats.NewAliasTable(weights)
+	m.fused = true
+	m.wordsFixed = make([][16]byte, m.vocab)
+	m.wordLens = make([]uint8, m.vocab)
+	for i, w := range m.Popularity.words {
+		if len(w) >= 16 || len(w) == 0 {
+			// A word list this packing cannot hold: keep correctness via the
+			// unfused path.
+			m.fused = false
+			break
+		}
+		m.wordsFixed[i][0] = ' '
+		copy(m.wordsFixed[i][1:], w)
+		m.wordLens[i] = uint8(len(w))
+	}
+	return m
 }
 
 // Word returns the next word from either the popularity body or the
 // synthesized tail.
 func (m *HybridModel) Word(rng *stats.RNG) string {
-	if rng.Float64() < m.TailProb {
-		return m.Length.Word(rng)
+	return string(m.AppendWord(nil, rng))
+}
+
+// AppendWord implements WordAppender without allocating: one alias draw picks
+// the word (or tail length) directly.
+func (m *HybridModel) AppendWord(dst []byte, rng *stats.RNG) []byte {
+	if !m.fused {
+		if rng.Float64() < m.TailProb {
+			return m.Length.AppendWord(dst, rng)
+		}
+		return m.Popularity.AppendWord(dst, rng)
 	}
-	return m.Popularity.Word(rng)
+	idx := m.combined.Sample(rng)
+	if idx < m.vocab {
+		return append(dst, m.Popularity.words[idx]...)
+	}
+	return appendLetters(dst, idx-m.vocab+1, rng)
+}
+
+// fillBlock implements blockFiller: the whole words-separators-wrapping loop
+// runs with no per-word function calls — one 64-bit draw and one alias lookup
+// select each word, and popular words land in a single copy from the
+// precomputed " word" strings. A line only exceeds TextLineWidth when a
+// single word is longer than the width, which no built-in word source is.
+func (m *HybridModel) fillBlock(buf []byte, limit, lineLen int, rng *stats.RNG) ([]byte, int) {
+	if !m.fused {
+		return fillBlockGeneric(m, buf, limit, lineLen, rng)
+	}
+	t := &m.combined
+	for len(buf) < limit {
+		idx := t.SampleBits(rng.Uint64())
+		wordStart := len(buf)
+		var wordLen int
+		if idx < m.vocab {
+			wordLen = int(m.wordLens[idx])
+			if lineLen == 0 {
+				buf = append(buf, m.Popularity.words[idx]...)
+				lineLen = wordLen
+				continue
+			}
+			buf = buf[:wordStart+16]
+			*(*[16]byte)(buf[wordStart:]) = m.wordsFixed[idx]
+			buf = buf[:wordStart+1+wordLen]
+		} else {
+			wordLen = idx - m.vocab + 1
+			if lineLen == 0 {
+				buf = appendLetters(buf, wordLen, rng)
+				lineLen = wordLen
+				continue
+			}
+			buf = append(buf, ' ')
+			buf = appendLetters(buf, wordLen, rng)
+		}
+		// Wrap BEFORE the word overflows the line: its leading separator
+		// becomes the newline.
+		if lineLen+1+wordLen > TextLineWidth {
+			buf[wordStart] = '\n'
+			lineLen = wordLen
+		} else {
+			lineLen += 1 + wordLen
+		}
+	}
+	return buf, lineLen
 }
 
 // Name implements WordModel.
@@ -204,6 +401,11 @@ func NewSingleWordModel(word string) *SingleWordModel {
 
 // Word returns the fixed word.
 func (m *SingleWordModel) Word(*stats.RNG) string { return m.TheWord }
+
+// AppendWord implements WordAppender without allocating.
+func (m *SingleWordModel) AppendWord(dst []byte, _ *stats.RNG) []byte {
+	return append(dst, m.TheWord...)
+}
 
 // Name implements WordModel.
 func (m *SingleWordModel) Name() string { return "single-word" }

@@ -55,9 +55,12 @@ func (g *Generator) Generate() (*Result, error) {
 	phases := map[string]float64{}
 	res := &Result{}
 
-	// Phase 1: directory structure (namespace skeleton).
+	// Phase 1: directory structure (namespace skeleton), built with
+	// deterministic speculative attachment: identical trees at every
+	// parallelism level.
 	start := time.Now()
-	tree := namespace.GenerateTree(rng.Fork("namespace"), cfg.NumDirs, cfg.TreeShape)
+	tree := namespace.GenerateTreeParallel(rng.Fork("namespace"), cfg.NumDirs, cfg.TreeShape,
+		effectiveParallelism(cfg.Parallelism))
 	if cfg.UseSpecialDirectories {
 		tree.MarkSpecial(cfg.SpecialDirectories)
 	}

@@ -135,6 +135,12 @@ func (img *Image) materializeShard(root string, dirs []int, files []int, opts Ma
 	return written, nil
 }
 
+// writerPool recycles the 64 KB bufio.Writers used to write file content, so
+// concurrent shard workers stop allocating fresh buffers for every file.
+var writerPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(nil, 64*1024) },
+}
+
 func writeFile(path string, f File, opts MaterializeOptions, rng *stats.RNG) (int64, error) {
 	fh, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, opts.FilePerm)
 	if err != nil {
@@ -149,7 +155,12 @@ func writeFile(path string, f File, opts MaterializeOptions, rng *stats.RNG) (in
 		}
 		return f.Size, nil
 	}
-	bw := bufio.NewWriterSize(fh, 64*1024)
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(fh)
+	defer func() {
+		bw.Reset(nil) // drop the file reference before pooling
+		writerPool.Put(bw)
+	}()
 	if err := opts.Registry.ForExtension(f.Ext).Generate(bw, f.Size, rng); err != nil {
 		return 0, fmt.Errorf("fsimage: writing content for %q: %w", path, err)
 	}

@@ -280,6 +280,93 @@ func TestMeanBytesPerFileByDepth(t *testing.T) {
 	}
 }
 
+// TestGenerateTreeParallelDeterminism is the core guarantee of the
+// speculative skeleton build: for a fixed seed, every worker count produces
+// the identical tree, and the single-worker GenerateTree path agrees.
+func TestGenerateTreeParallelDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 500, 20000} {
+		for _, seed := range []int64{1, 42, 977} {
+			ref := GenerateTree(stats.NewRNG(seed), n, ShapeGenerative)
+			for _, workers := range []int{1, 2, 4, 8} {
+				got := GenerateTreeParallel(stats.NewRNG(seed), n, ShapeGenerative, workers)
+				if len(got.Dirs) != len(ref.Dirs) {
+					t.Fatalf("n=%d seed=%d workers=%d: %d dirs, want %d",
+						n, seed, workers, len(got.Dirs), len(ref.Dirs))
+				}
+				for i := range ref.Dirs {
+					if got.Dirs[i] != ref.Dirs[i] {
+						t.Fatalf("n=%d seed=%d workers=%d: dir %d differs: %+v vs %+v",
+							n, seed, workers, i, got.Dirs[i], ref.Dirs[i])
+					}
+				}
+				if got.MaxDepth() != ref.MaxDepth() {
+					t.Fatalf("n=%d seed=%d workers=%d: max depth %d, want %d",
+						n, seed, workers, got.MaxDepth(), ref.MaxDepth())
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateTreePreferentialAttachment sanity-checks that the speculative
+// build still realizes the C(d)+2 dynamics: early directories accumulate far
+// more children than late ones (preferential attachment), and fan-out is
+// heavy-tailed.
+func TestGenerateTreePreferentialAttachment(t *testing.T) {
+	tree := GenerateTree(stats.NewRNG(7), 20000, ShapeGenerative)
+	firstHalf, secondHalf := 0, 0
+	for _, d := range tree.Dirs {
+		if d.ID < 10000 {
+			firstHalf += d.SubdirCount
+		} else {
+			secondHalf += d.SubdirCount
+		}
+	}
+	if firstHalf <= secondHalf*2 {
+		t.Errorf("preferential attachment should favor early directories: first half %d children, second half %d",
+			firstHalf, secondHalf)
+	}
+	maxFan := 0
+	for _, d := range tree.Dirs {
+		if d.SubdirCount > maxFan {
+			maxFan = d.SubdirCount
+		}
+	}
+	if maxFan < 20 {
+		t.Errorf("max fan-out %d; the rich-get-richer dynamics should produce large hubs", maxFan)
+	}
+}
+
+// TestTreePathMatchesReference pins Path's two-pass fill against a naive
+// reference implementation.
+func TestTreePathMatchesReference(t *testing.T) {
+	tree := GenerateTree(stats.NewRNG(11), 500, ShapeGenerative)
+	ref := func(id int) string {
+		if id <= 0 {
+			return ""
+		}
+		out := tree.Dirs[id].Name
+		for p := tree.Dirs[id].Parent; p > 0; p = tree.Dirs[p].Parent {
+			out = tree.Dirs[p].Name + "/" + out
+		}
+		return out
+	}
+	for id := 0; id < tree.Len(); id++ {
+		if got, want := tree.Path(id), ref(id); got != want {
+			t.Fatalf("Path(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestDirNameFormatting(t *testing.T) {
+	cases := map[int]string{0: "dir00000", 7: "dir00007", 99999: "dir99999", 123456: "dir123456"}
+	for id, want := range cases {
+		if got := dirName(id); got != want {
+			t.Errorf("dirName(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
+
 // Property: the generative model always produces a single rooted tree with
 // exactly the requested number of directories and consistent depths.
 func TestQuickGenerativeTreeInvariants(t *testing.T) {

@@ -262,6 +262,10 @@ func (e *Engine) Index(img *fsimage.Image, registry *content.Registry, contentSe
 	}
 	ix := NewInvertedIndex(e.policy.PositionalPostings)
 	rng := sampleRNG(contentSeed, e.policy.Name+string(e.variant))
+	// One tokenizer serves every text document in the crawl; content
+	// generators stream into it block-by-block from the shared scratch pool,
+	// so per-file indexing allocates nothing beyond new distinct terms.
+	tw := newTokenizingWriter(ix)
 
 	// Crawl directories.
 	res.CrawledDirs = img.DirCount()
@@ -315,7 +319,7 @@ func (e *Engine) Index(img *fsimage.Image, registry *content.Registry, contentSe
 
 		switch class {
 		case ClassText, ClassScript:
-			tw := newTokenizingWriter(ix)
+			tw.reset()
 			gen := registry.ForExtension(f.Ext)
 			if err := gen.Generate(tw, f.Size, rng); err == nil {
 				tw.Flush()

@@ -19,8 +19,12 @@ import (
 // study measures: how index size responds to file content and indexing
 // policy.
 type InvertedIndex struct {
-	postings map[string]int64 // term -> number of occurrences indexed
-	docs     int64            // number of documents added
+	// postings maps term -> occurrence counter. Counters are boxed so the
+	// hot path (an existing term seen again) is a pure map read — Go compiles
+	// map reads keyed by string(bytes) without materializing the string, so
+	// only the first occurrence of each distinct term allocates.
+	postings map[string]*int64
+	docs     int64 // number of documents added
 	// positional indicates term positions are stored (larger postings).
 	positional bool
 	// bytesPerPosting is the estimated serialized size of one posting entry.
@@ -42,7 +46,7 @@ func NewInvertedIndex(positional bool) *InvertedIndex {
 		bpp = 1.2
 	}
 	return &InvertedIndex{
-		postings:        make(map[string]int64),
+		postings:        make(map[string]*int64),
 		positional:      positional,
 		bytesPerPosting: bpp,
 	}
@@ -53,7 +57,28 @@ func (ix *InvertedIndex) AddTerm(term string) {
 	if term == "" {
 		return
 	}
-	ix.postings[term]++
+	if p, ok := ix.postings[term]; ok {
+		*p++
+		return
+	}
+	one := int64(1)
+	ix.postings[term] = &one
+}
+
+// AddTermBytes records one occurrence of the term held in b without
+// allocating when the term is already known: the map lookup keyed by
+// string(b) does not escape, and the counter is incremented through its
+// pointer.
+func (ix *InvertedIndex) AddTermBytes(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	if p, ok := ix.postings[string(b)]; ok {
+		*p++
+		return
+	}
+	one := int64(1)
+	ix.postings[string(b)] = &one
 }
 
 // AddDocument records per-document attribute overhead (file name, metadata).
@@ -75,7 +100,7 @@ func (ix *InvertedIndex) Documents() int64 { return ix.docs }
 func (ix *InvertedIndex) Postings() int64 {
 	var total int64
 	for _, n := range ix.postings {
-		total += n
+		total += *n
 	}
 	return total
 }
@@ -99,7 +124,7 @@ func (ix *InvertedIndex) TopTerms(n int) []string {
 	}
 	all := make([]tc, 0, len(ix.postings))
 	for t, c := range ix.postings {
-		all = append(all, tc{t, c})
+		all = append(all, tc{t, *c})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].count != all[j].count {
@@ -138,7 +163,7 @@ func (t *tokenizingWriter) Write(p []byte) (int, error) {
 				t.current = append(t.current, toLower(b))
 			}
 		} else if len(t.current) > 0 {
-			t.ix.AddTerm(string(t.current))
+			t.ix.AddTermBytes(t.current)
 			t.current = t.current[:0]
 		}
 	}
@@ -149,9 +174,15 @@ func (t *tokenizingWriter) Write(p []byte) (int, error) {
 // Flush indexes any trailing partial token.
 func (t *tokenizingWriter) Flush() {
 	if len(t.current) > 0 {
-		t.ix.AddTerm(string(t.current))
+		t.ix.AddTermBytes(t.current)
 		t.current = t.current[:0]
 	}
+}
+
+// reset prepares the writer for the next document, keeping its token buffer.
+func (t *tokenizingWriter) reset() {
+	t.current = t.current[:0]
+	t.written = 0
 }
 
 func isWordByte(b byte) bool {

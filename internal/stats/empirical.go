@@ -87,11 +87,11 @@ func (e Empirical) Name() string {
 // Categorical is a distribution over a fixed set of named categories with
 // given probabilities. Impressions uses it for extension popularity, which
 // Table 2 records as "percentile values" for the top-20 extensions by count
-// and by bytes.
+// and by bytes. Sampling is O(1) via a Walker–Vose alias table.
 type Categorical struct {
 	names   []string
 	weights []float64
-	cum     []float64
+	alias   AliasTable
 }
 
 // NewCategorical builds a categorical distribution. Weights are normalized;
@@ -114,13 +114,10 @@ func NewCategorical(names []string, weights []float64) Categorical {
 	c := Categorical{
 		names:   append([]string(nil), names...),
 		weights: make([]float64, len(weights)),
-		cum:     make([]float64, len(weights)),
+		alias:   NewAliasTable(weights),
 	}
-	acc := 0.0
 	for i, w := range weights {
 		c.weights[i] = w / total
-		acc += w / total
-		c.cum[i] = acc
 	}
 	return c
 }
@@ -130,19 +127,9 @@ func (c Categorical) SampleName(rng *RNG) string {
 	return c.names[c.SampleIndex(rng)]
 }
 
-// SampleIndex returns a category index drawn according to the weights.
+// SampleIndex returns a category index drawn according to the weights in O(1).
 func (c Categorical) SampleIndex(rng *RNG) int {
-	u := rng.Float64()
-	lo, hi := 0, len(c.cum)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.cum[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return c.alias.Sample(rng)
 }
 
 // Prob returns the probability of the named category (0 if unknown).

@@ -14,17 +14,51 @@ import (
 )
 
 // RNG is a deterministic random number generator used throughout Impressions.
-// It wraps math/rand with an explicit seed so that images are reproducible:
-// the seed is recorded in the image Report and re-supplying it regenerates a
-// bit-identical image.
+// It carries an explicit seed so that images are reproducible: the seed is
+// recorded in the image Report and re-supplying it regenerates a bit-identical
+// image.
+//
+// The core generator is SplitMix64 rather than math/rand's lagged-Fibonacci
+// source: construction is two word writes instead of a 607-entry table fill,
+// which matters enormously on the sharded hot paths where every file and
+// every shard derives its own stream (SplitStream/SplitN), and each draw is a
+// handful of arithmetic ops. Uniform draws go straight to the SplitMix64
+// state; the derived distributions math/rand implements well (ziggurat
+// normals, exponentials, Perm/Shuffle) are served by a math/rand.Rand wrapped
+// around the same state, so every draw — from either path — advances the one
+// deterministic stream.
 type RNG struct {
 	seed int64
+	st   smState
 	src  *rand.Rand
 }
 
+// smState is a SplitMix64 generator state implementing math/rand.Source64.
+type smState struct{ s uint64 }
+
+func (st *smState) next() uint64 {
+	st.s += 0x9e3779b97f4a7c15
+	z := st.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 implements rand.Source64.
+func (st *smState) Uint64() uint64 { return st.next() }
+
+// Int63 implements rand.Source.
+func (st *smState) Int63() int64 { return int64(st.next() >> 1) }
+
+// Seed implements rand.Source.
+func (st *smState) Seed(seed int64) { st.s = uint64(seed) }
+
 // NewRNG returns a deterministic RNG seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{seed: seed, src: rand.New(rand.NewSource(seed))}
+	r := &RNG{seed: seed}
+	r.st.s = uint64(seed)
+	r.src = rand.New(&r.st)
+	return r
 }
 
 // Seed returns the seed the RNG was created with.
@@ -61,6 +95,17 @@ func (r *RNG) SplitN(i uint64) *RNG {
 	return NewRNG(int64(splitmix64(uint64(r.seed) ^ splitmix64(i+0x632be59bd9b4e019))))
 }
 
+// UniformAt returns one uniform value in [0,1) from the i-th child stream of
+// this RNG without allocating the stream. Like SplitN it is a pure function
+// of the parent seed and the index — safe for concurrent use from any number
+// of goroutines — but it skips constructing a full child RNG, so it is the
+// allocation-free primitive for hot paths that need exactly one draw per
+// index (the parallel namespace skeleton's per-directory parent choice).
+func (r *RNG) UniformAt(i uint64) float64 {
+	v := splitmix64(splitmix64(uint64(r.seed) ^ splitmix64(i+0x632be59bd9b4e019)))
+	return float64(v>>11) / (1 << 53)
+}
+
 // fnv1a hashes a label with 64-bit FNV-1a.
 func fnv1a(label string) int64 {
 	h := int64(1469598103934665603) // FNV-1a offset basis
@@ -82,7 +127,7 @@ func splitmix64(x uint64) uint64 {
 }
 
 // Float64 returns a uniform value in [0,1).
-func (r *RNG) Float64() float64 { return r.src.Float64() }
+func (r *RNG) Float64() float64 { return float64(r.st.next()>>11) / (1 << 53) }
 
 // Intn returns a uniform integer in [0,n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
@@ -103,7 +148,7 @@ func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
 func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
 
 // Uint64 returns a pseudo-random 64-bit value.
-func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+func (r *RNG) Uint64() uint64 { return r.st.next() }
 
 // Bool returns true with probability p.
 func (r *RNG) Bool(p float64) bool {
@@ -113,7 +158,7 @@ func (r *RNG) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return r.src.Float64() < p
+	return r.Float64() < p
 }
 
 // Distribution is a continuous (or effectively continuous) probability

@@ -13,11 +13,13 @@ type Zipf struct {
 	S float64 // exponent
 	N int     // number of ranks
 
-	cum []float64
+	pmf   []float64 // normalized probabilities, pmf[k-1] = P(rank k)
+	alias AliasTable
 }
 
 // NewZipf constructs a Zipf distribution over ranks 1..n with exponent s.
-// It panics if n <= 0 or s < 0.
+// Sampling is O(1) via a Walker–Vose alias table. It panics if n <= 0 or
+// s < 0.
 func NewZipf(s float64, n int) Zipf {
 	if n <= 0 {
 		panic("stats: zipf needs at least one rank")
@@ -26,32 +28,28 @@ func NewZipf(s float64, n int) Zipf {
 		panic("stats: zipf exponent must be non-negative")
 	}
 	z := Zipf{S: s, N: n}
-	z.cum = make([]float64, n)
+	z.pmf = make([]float64, n)
 	total := 0.0
 	for k := 1; k <= n; k++ {
-		total += 1 / math.Pow(float64(k), s)
+		w := 1 / math.Pow(float64(k), s)
+		z.pmf[k-1] = w
+		total += w
 	}
-	acc := 0.0
-	for k := 1; k <= n; k++ {
-		acc += 1 / math.Pow(float64(k), s) / total
-		z.cum[k-1] = acc
+	for k := range z.pmf {
+		z.pmf[k] /= total
 	}
+	z.alias = NewAliasTable(z.pmf)
 	return z
 }
 
-// SampleInt returns a rank in [1, N].
-func (z Zipf) SampleInt(rng *RNG) int {
-	u := rng.Float64()
-	lo, hi := 0, z.N-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if z.cum[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo + 1
+// SampleInt returns a rank in [1, N] in O(1).
+func (z *Zipf) SampleInt(rng *RNG) int {
+	return z.alias.Sample(rng) + 1
+}
+
+// SampleIntU maps one externally-drawn uniform in [0,1) to a rank in [1, N].
+func (z *Zipf) SampleIntU(u float64) int {
+	return z.alias.SampleU(u) + 1
 }
 
 // PMF returns P(rank = k).
@@ -59,19 +57,14 @@ func (z Zipf) PMF(k int) float64 {
 	if k < 1 || k > z.N {
 		return 0
 	}
-	if k == 1 {
-		return z.cum[0]
-	}
-	return z.cum[k-1] - z.cum[k-2]
+	return z.pmf[k-1]
 }
 
 // Mean returns the mean rank.
 func (z Zipf) Mean() float64 {
 	mean := 0.0
-	prev := 0.0
 	for k := 1; k <= z.N; k++ {
-		mean += float64(k) * (z.cum[k-1] - prev)
-		prev = z.cum[k-1]
+		mean += float64(k) * z.pmf[k-1]
 	}
 	return mean
 }
