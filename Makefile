@@ -7,7 +7,7 @@ MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|File
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test race bench bench-smoke bench-json lint fmt ci
+.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,21 @@ bench-json:
 	$(GO) run ./cmd/benchjson < bench-micro.out > BENCH_$(BENCH_DATE).json
 	@rm -f bench-micro.out
 	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+# Local mirror of the CI distributed-determinism job: a plan executed by 4
+# worker processes and merged must be byte-identical to a single-process run
+# (same canonical digest, same on-disk bytes).
+dist-check:
+	@rm -rf /tmp/impressions-dist-check && mkdir -p /tmp/impressions-dist-check
+	$(GO) build -o /tmp/impressions-dist-check/impressions ./cmd/impressions
+	@set -e; cd /tmp/impressions-dist-check; \
+	./impressions -files 3000 -dirs 600 -size-mu 8 -size-sigma 1.2 -seed 20090225 -digest -out single | grep '^image digest:' > single.digest; \
+	./impressions plan -files 3000 -dirs 600 -size-mu 8 -size-sigma 1.2 -seed 20090225 -shards 4 -plan plan.json; \
+	pids=""; for s in 0 1 2 3; do ./impressions worker -plan plan.json -shard $$s -out merged -manifest manifest-$$s.json & pids="$$pids $$!"; done; \
+	for p in $$pids; do wait "$$p"; done; \
+	./impressions merge -plan plan.json -print-digest manifest-*.json > merged.digest; \
+	cmp single.digest merged.digest; diff -r single merged; \
+	echo "dist-check: OK (digests and trees identical)"
 
 lint:
 	$(GO) vet ./...

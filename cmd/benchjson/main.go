@@ -3,14 +3,22 @@
 // BENCH_<date>.json per run and the performance trajectory of the hot paths
 // (content throughput, skeleton build, materialization) stays tracked across
 // PRs. See `make bench-json`.
+//
+// With -compare, it instead reads two reports and emits a markdown delta
+// table (for the CI job summary), flagging regressions above -threshold
+// percent with a warning. Comparison never fails the build: benchmark noise
+// on shared CI runners makes a hard gate counterproductive, but the deltas
+// are surfaced where reviewers actually look.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -44,17 +52,140 @@ type Report struct {
 }
 
 func main() {
-	report, err := Parse(os.Stdin)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run executes the command and returns its exit status: 2 for flag errors,
+// 1 for runtime failures, 0 otherwise (including regressions found by
+// -compare, which warn instead of failing).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		compareFlag   = fs.String("compare", "", "previous BENCH_*.json report: emit a markdown delta table instead of parsing stdin")
+		newFlag       = fs.String("new", "", "current BENCH_*.json report to compare against (required with -compare)")
+		thresholdFlag = fs.Float64("threshold", 25, "warn when ns/op regresses by more than this percentage")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
 	}
-	enc := json.NewEncoder(os.Stdout)
+	if *compareFlag != "" {
+		if *newFlag == "" {
+			fmt.Fprintln(stderr, "benchjson: -compare requires -new <current report>")
+			return 2
+		}
+		if err := Compare(*compareFlag, *newFlag, *thresholdFlag, stdout); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	report, err := Parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: encoding report: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: encoding report: %v\n", err)
+		return 1
 	}
+	return 0
+}
+
+// loadReport reads a JSON report written by this command.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Compare renders a markdown delta table between two reports to w. Negative
+// ns/op deltas are improvements. Benchmarks above the regression threshold
+// get a warning marker and are listed in a trailing summary line, but
+// Compare never reports them as an error: the table informs, CI stays green.
+func Compare(oldPath, newPath string, thresholdPct float64, w io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Entry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	fmt.Fprintf(w, "### Benchmark delta vs previous run\n\n")
+	fmt.Fprintf(w, "Previous: generated %s. Warn threshold: %+.0f%% ns/op.\n\n", oldRep.GeneratedAt.Format(time.RFC3339), thresholdPct)
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | old MB/s | new MB/s |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|")
+	var regressions []string
+	for _, e := range newRep.Benchmarks {
+		prev, ok := oldBy[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "| %s | — | %s | new | — | %s |\n", e.Name, formatNs(e.NsPerOp), formatMB(e.MBPerS))
+			continue
+		}
+		deltaPct := 0.0
+		if prev.NsPerOp > 0 {
+			deltaPct = (e.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100
+		}
+		marker := ""
+		if deltaPct > thresholdPct {
+			marker = " ⚠️"
+			regressions = append(regressions, fmt.Sprintf("%s (%+.1f%%)", e.Name, deltaPct))
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s | %s |\n",
+			e.Name, formatNs(prev.NsPerOp), formatNs(e.NsPerOp), deltaPct, marker, formatMB(prev.MBPerS), formatMB(e.MBPerS))
+	}
+	var removed []string
+	newNames := make(map[string]bool, len(newRep.Benchmarks))
+	for _, e := range newRep.Benchmarks {
+		newNames[e.Name] = true
+	}
+	for name := range oldBy {
+		if !newNames[name] {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	if len(removed) > 0 {
+		fmt.Fprintf(w, "\nNo longer present: %s.\n", strings.Join(removed, ", "))
+	}
+	if len(regressions) > 0 {
+		sort.Strings(regressions)
+		fmt.Fprintf(w, "\n⚠️ **%d benchmark(s) regressed >%.0f%% ns/op:** %s. (Warning only — shared-runner noise means this does not fail the build; investigate if it persists across runs.)\n",
+			len(regressions), thresholdPct, strings.Join(regressions, ", "))
+	} else {
+		fmt.Fprintf(w, "\nNo regressions above %.0f%%.\n", thresholdPct)
+	}
+	return nil
+}
+
+func formatNs(v float64) string {
+	if v == 0 {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func formatMB(v float64) string {
+	if v == 0 {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
 }
 
 // Parse reads `go test -bench` output and collects benchmark lines and the

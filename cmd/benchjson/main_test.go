@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -72,5 +77,94 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 		if _, ok := parseBenchLine(line); ok {
 			t.Errorf("line %q should not parse", line)
 		}
+	}
+}
+
+// writeReport marshals a report to a temp file for the compare tests.
+func writeReport(t *testing.T, dir, name string, entries []Entry) string {
+	t.Helper()
+	r := Report{GeneratedAt: time.Now().UTC(), Benchmarks: entries}
+	data, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareEmitsDeltaTable checks the markdown delta table: improvements,
+// regressions over the threshold (flagged but not fatal), new entries, and
+// removed entries.
+func TestCompareEmitsDeltaTable(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkFast", NsPerOp: 100, MBPerS: 50},
+		{Name: "BenchmarkSlow", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 7},
+	})
+	newPath := writeReport(t, dir, "new.json", []Entry{
+		{Name: "BenchmarkFast", NsPerOp: 90, MBPerS: 55}, // improved
+		{Name: "BenchmarkSlow", NsPerOp: 1500},           // +50% regression
+		{Name: "BenchmarkFresh", NsPerOp: 3},             // new
+	})
+	var buf strings.Builder
+	if err := Compare(oldPath, newPath, 25, &buf); err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"| BenchmarkFast | 100 | 90 | -10.0% | 50.00 | 55.00 |",
+		"| BenchmarkSlow | 1000 | 1500 | +50.0% ⚠️ |",
+		"| BenchmarkFresh | — | 3 | new |",
+		"No longer present: BenchmarkGone.",
+		"1 benchmark(s) regressed >25%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareNoRegressions checks the all-clear summary line.
+func TestCompareNoRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Entry{{Name: "BenchmarkA", NsPerOp: 100}})
+	newPath := writeReport(t, dir, "new.json", []Entry{{Name: "BenchmarkA", NsPerOp: 110}})
+	var buf strings.Builder
+	if err := Compare(oldPath, newPath, 25, &buf); err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !strings.Contains(buf.String(), "No regressions above 25%") {
+		t.Errorf("missing all-clear line:\n%s", buf.String())
+	}
+}
+
+// TestRunExitCodes audits the exit statuses: regressions stay 0 (warn
+// only), bad flags are 2, unreadable inputs are 1.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Entry{{Name: "BenchmarkA", NsPerOp: 100}})
+	newPath := writeReport(t, dir, "new.json", []Entry{{Name: "BenchmarkA", NsPerOp: 900}})
+
+	if got := run([]string{"-compare", oldPath, "-new", newPath}, strings.NewReader(""), io.Discard, io.Discard); got != 0 {
+		t.Errorf("regression compare: exit %d, want 0 (warn only)", got)
+	}
+	if got := run([]string{"-compare", oldPath}, strings.NewReader(""), io.Discard, io.Discard); got != 2 {
+		t.Errorf("missing -new: exit %d, want 2", got)
+	}
+	if got := run([]string{"-no-such-flag"}, strings.NewReader(""), io.Discard, io.Discard); got != 2 {
+		t.Errorf("bad flag: exit %d, want 2", got)
+	}
+	if got := run([]string{"-compare", filepath.Join(dir, "absent.json"), "-new", newPath}, strings.NewReader(""), io.Discard, io.Discard); got != 1 {
+		t.Errorf("missing old report: exit %d, want 1", got)
+	}
+	if got := run(nil, strings.NewReader(sample), io.Discard, io.Discard); got != 0 {
+		t.Errorf("stdin parse: exit %d, want 0", got)
+	}
+	if got := run(nil, strings.NewReader("no benchmarks here"), io.Discard, io.Discard); got != 1 {
+		t.Errorf("empty stdin: exit %d, want 1", got)
 	}
 }

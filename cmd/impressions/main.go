@@ -4,25 +4,42 @@
 // count) is needed; the user-specified mode exposes the individual Table 2
 // knobs.
 //
+// Besides single-process generation, the command exposes the distributed
+// pipeline as subcommands: `plan` resolves the metadata and partitions the
+// namespace into shards, `worker` executes one shard in isolation (workers
+// are plain processes — run them on any shared-nothing fleet), `merge`
+// stitches the shard manifests back into one verified image, and `distrun`
+// orchestrates plan → N local worker processes → merge in one call.
+//
 // Examples:
 //
 //	impressions -size 4.55GB -out /tmp/image
 //	impressions -files 20000 -dirs 4000 -content text-model -out /tmp/image
 //	impressions -size 1GB -layout 0.95 -seed 42 -report report.json -out /tmp/image
 //	impressions -print-defaults
+//	impressions plan -files 20000 -seed 42 -shards 8 -plan plan.json
+//	impressions worker -plan plan.json -shard 3 -out /mnt/img -manifest shard3.json
+//	impressions merge -plan plan.json -print-digest shard*.json
+//	impressions distrun -files 20000 -seed 42 -shards 4 -out /tmp/image
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"impressions/internal/content"
 	"impressions/internal/core"
+	"impressions/internal/distribute"
 	"impressions/internal/fsimage"
 	"impressions/internal/namespace"
 	"impressions/internal/stats"
@@ -39,114 +56,514 @@ func userFileSizeDist(mu, sigma float64) stats.Distribution {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "impressions:", err)
-		os.Exit(1)
+	os.Exit(Main(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks argument/flag problems so Main can exit with the
+// conventional usage status (2) instead of the runtime-failure status (1).
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, a ...any) error {
+	return usageError{fmt.Errorf(format, a...)}
+}
+
+// Main runs the command and returns the process exit code: 0 on success
+// (including -h/-help), 2 on flag or usage errors, 1 on runtime failures.
+// Every path funnels through here — run() returns errors instead of calling
+// os.Exit, so no parse failure can slip out with status 0.
+func Main(args []string, stdout, stderr io.Writer) int {
+	err := run(args, stdout, stderr)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.As(err, &usageError{}):
+		fmt.Fprintln(stderr, "impressions:", err)
+		return 2
+	default:
+		fmt.Fprintln(stderr, "impressions:", err)
+		return 1
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("impressions", flag.ContinueOnError)
-	var (
-		sizeFlag      = fs.String("size", "", "desired file-system size (e.g. 500MB, 4.55GB)")
-		filesFlag     = fs.Int("files", 0, "number of files (derived from -size if omitted)")
-		dirsFlag      = fs.Int("dirs", 0, "number of directories (derived from -files if omitted)")
-		outFlag       = fs.String("out", "", "directory to materialize the image into (omit for a dry run)")
-		seedFlag      = fs.Int64("seed", 0, "random seed (0 = default seed)")
-		contentFlag   = fs.String("content", "default", "content policy: default, text-1word, text-model, image, binary, zero")
-		layoutFlag    = fs.Float64("layout", 1.0, "target on-disk layout score in (0,1]")
-		treeFlag      = fs.String("tree", "generative", "tree shape: generative, flat, deep")
-		specialFlag   = fs.Bool("special-dirs", false, "bias placement towards special directories (Windows, Program Files, web cache)")
-		metadataOnly  = fs.Bool("metadata-only", false, "create files with correct sizes but no content (fast)")
-		reportFlag    = fs.String("report", "", "write the JSON reproducibility report to this file")
-		printDefaults = fs.Bool("print-defaults", false, "print the Table 2 parameter defaults and exit")
-		mu            = fs.Float64("size-mu", 0, "override lognormal mu of the file-size body")
-		sigma         = fs.Float64("size-sigma", 0, "override lognormal sigma of the file-size body")
-		jobs          = fs.Int("j", 0, "parallel workers for generation and materialization (0 = all CPUs, 1 = serial); the image is byte-identical at any level")
-	)
+// run dispatches to a subcommand; a leading flag (or nothing) selects the
+// classic single-process generation path.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, rest := args[0], args[1:]
+		switch sub {
+		case "generate":
+			return runGenerate(rest, stdout, stderr)
+		case "plan":
+			return runPlan(rest, stdout, stderr)
+		case "worker":
+			return runWorker(rest, stdout, stderr)
+		case "merge":
+			return runMerge(rest, stdout, stderr)
+		case "distrun":
+			return runDistrun(rest, stdout, stderr)
+		default:
+			return usagef("unknown subcommand %q (want generate, plan, worker, merge, or distrun)", sub)
+		}
+	}
+	return runGenerate(args, stdout, stderr)
+}
+
+// parseFlags wraps FlagSet.Parse so ordinary parse failures surface as
+// usage errors (exit status 2) while -h/-help stays a clean exit 0.
+func parseFlags(fs *flag.FlagSet, args []string) error {
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	if *printDefaults {
-		printDefaultTable(os.Stdout)
-		return nil
-	}
-
-	cfg := core.Config{
-		Seed:                  *seedFlag,
-		NumFiles:              *filesFlag,
-		NumDirs:               *dirsFlag,
-		ContentKind:           content.Kind(*contentFlag),
-		LayoutScore:           *layoutFlag,
-		UseSpecialDirectories: *specialFlag,
-		Parallelism:           *jobs,
-	}
-	if *sizeFlag != "" {
-		bytes, err := parseSize(*sizeFlag)
-		if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
-		cfg.FSSizeBytes = bytes
-	}
-	switch strings.ToLower(*treeFlag) {
-	case "flat":
-		cfg.TreeShape = namespace.ShapeFlat
-	case "deep":
-		cfg.TreeShape = namespace.ShapeDeep
-	case "", "generative":
-		cfg.TreeShape = namespace.ShapeGenerative
-	default:
-		return fmt.Errorf("unknown tree shape %q", *treeFlag)
-	}
-	if *mu > 0 || *sigma > 0 {
-		cfg.Mode = core.ModeUserSpecified
-		bodyMu, bodySigma := core.DefaultFileSizeMu, core.DefaultFileSizeSigma
-		if *mu > 0 {
-			bodyMu = *mu
-		}
-		if *sigma > 0 {
-			bodySigma = *sigma
-		}
-		cfg.FileSizeDist = userFileSizeDist(bodyMu, bodySigma)
-	}
-
-	res, err := core.GenerateImage(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println(res.Image.Summary())
-	if _, err := res.Report.WriteTo(os.Stdout); err != nil {
-		return err
-	}
-
-	if *outFlag != "" {
-		written, err := res.Image.Materialize(*outFlag, fsimage.MaterializeOptions{
-			Registry:     content.NewRegistry(content.Kind(*contentFlag)),
-			Seed:         res.Image.Spec.Seed,
-			MetadataOnly: *metadataOnly,
-			Parallelism:  *jobs,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("materialized %d bytes under %s\n", written, *outFlag)
-	}
-
-	if *reportFlag != "" {
-		data, err := json.MarshalIndent(&res.Report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*reportFlag, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote reproducibility report to %s\n", *reportFlag)
+		return usageError{err}
 	}
 	return nil
 }
 
-func printDefaultTable(w *os.File) {
+// genFlags registers the generation-config flags shared by the generate,
+// plan, and distrun subcommands.
+type genFlags struct {
+	size    *string
+	files   *int
+	dirs    *int
+	seed    *int64
+	content *string
+	layout  *float64
+	tree    *string
+	special *bool
+	mu      *float64
+	sigma   *float64
+	jobs    *int
+}
+
+func newGenFlags(fs *flag.FlagSet) *genFlags {
+	return &genFlags{
+		size:    fs.String("size", "", "desired file-system size (e.g. 500MB, 4.55GB)"),
+		files:   fs.Int("files", 0, "number of files (derived from -size if omitted)"),
+		dirs:    fs.Int("dirs", 0, "number of directories (derived from -files if omitted)"),
+		seed:    fs.Int64("seed", 0, "random seed (0 = default seed)"),
+		content: fs.String("content", "default", "content policy: default, text-1word, text-model, image, binary, zero"),
+		layout:  fs.Float64("layout", 1.0, "target on-disk layout score in (0,1]"),
+		tree:    fs.String("tree", "generative", "tree shape: generative, flat, deep"),
+		special: fs.Bool("special-dirs", false, "bias placement towards special directories (Windows, Program Files, web cache)"),
+		mu:      fs.Float64("size-mu", 0, "override lognormal mu of the file-size body"),
+		sigma:   fs.Float64("size-sigma", 0, "override lognormal sigma of the file-size body"),
+		jobs:    fs.Int("j", 0, "parallel workers for generation and materialization (0 = all CPUs, 1 = serial); the image is byte-identical at any level"),
+	}
+}
+
+func (g *genFlags) config() (core.Config, error) {
+	cfg := core.Config{
+		Seed:                  *g.seed,
+		NumFiles:              *g.files,
+		NumDirs:               *g.dirs,
+		ContentKind:           content.Kind(*g.content),
+		LayoutScore:           *g.layout,
+		UseSpecialDirectories: *g.special,
+		Parallelism:           *g.jobs,
+	}
+	if *g.size != "" {
+		bytes, err := parseSize(*g.size)
+		if err != nil {
+			return core.Config{}, usageError{err}
+		}
+		cfg.FSSizeBytes = bytes
+	}
+	shape, err := namespace.ParseShape(strings.ToLower(*g.tree))
+	if err != nil {
+		return core.Config{}, usagef("unknown tree shape %q", *g.tree)
+	}
+	cfg.TreeShape = shape
+	if *g.mu > 0 || *g.sigma > 0 {
+		cfg.Mode = core.ModeUserSpecified
+		bodyMu, bodySigma := core.DefaultFileSizeMu, core.DefaultFileSizeSigma
+		if *g.mu > 0 {
+			bodyMu = *g.mu
+		}
+		if *g.sigma > 0 {
+			bodySigma = *g.sigma
+		}
+		cfg.FileSizeDist = userFileSizeDist(bodyMu, bodySigma)
+	}
+	return cfg, nil
+}
+
+// runGenerate is the classic single-process path: generate, optionally
+// materialize, report.
+func runGenerate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impressions", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gen := newGenFlags(fs)
+	var (
+		outFlag       = fs.String("out", "", "directory to materialize the image into (omit for a dry run)")
+		metadataOnly  = fs.Bool("metadata-only", false, "create files with correct sizes but no content (fast)")
+		reportFlag    = fs.String("report", "", "write the JSON reproducibility report to this file")
+		printDefaults = fs.Bool("print-defaults", false, "print the Table 2 parameter defaults and exit")
+		digestFlag    = fs.Bool("digest", false, "print the canonical SHA-256 image digest (computed without touching disk)")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	if *printDefaults {
+		printDefaultTable(stdout)
+		return nil
+	}
+
+	cfg, err := gen.config()
+	if err != nil {
+		return err
+	}
+	res, err := core.GenerateImage(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, res.Image.Summary())
+	if _, err := res.Report.WriteTo(stdout); err != nil {
+		return err
+	}
+
+	// When both the digest and a materialized tree are wanted, collect the
+	// per-file hashes during the single write pass instead of generating
+	// every file's content twice.
+	var digests []string
+	if *digestFlag && *outFlag != "" && !*metadataOnly {
+		digests = make([]string, res.Image.FileCount())
+	}
+
+	if *outFlag != "" {
+		written, err := res.Image.Materialize(*outFlag, fsimage.MaterializeOptions{
+			Registry:     content.NewRegistry(content.Kind(*gen.content)),
+			Seed:         res.Image.Spec.Seed,
+			MetadataOnly: *metadataOnly,
+			Parallelism:  *gen.jobs,
+			Digests:      digests,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "materialized %d bytes under %s\n", written, *outFlag)
+	}
+
+	if *digestFlag {
+		if *metadataOnly && *outFlag != "" {
+			// The digest always describes the image's full content; a
+			// metadata-only tree holds empty files, so the two will not match
+			// — and computing it regenerates every file's content in memory.
+			fmt.Fprintln(stderr, "impressions: note: -digest describes the image's content, not the metadata-only tree just written")
+		}
+		var digest string
+		if digests != nil {
+			digest, err = fsimage.CombineDigest(res.Image, digests)
+		} else {
+			digest, err = res.Image.Digest(fsimage.MaterializeOptions{
+				Registry:    content.NewRegistry(content.Kind(*gen.content)),
+				Seed:        res.Image.Spec.Seed,
+				Parallelism: *gen.jobs,
+			})
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "image digest: sha256:%s\n", digest)
+	}
+
+	if *reportFlag != "" {
+		if err := writeReportFile(*reportFlag, &res.Report); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote reproducibility report to %s\n", *reportFlag)
+	}
+	return nil
+}
+
+// runPlan resolves the metadata pass and writes the shard plan.
+func runPlan(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impressions plan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gen := newGenFlags(fs)
+	var (
+		shardsFlag = fs.Int("shards", 4, "number of subtree shards to partition the namespace into")
+		planFlag   = fs.String("plan", "", "file to write the JSON plan to (required)")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *planFlag == "" {
+		return usagef("plan: -plan <file> is required")
+	}
+	if *gen.layout != 1.0 {
+		return usagef("plan: -layout is not supported in distributed runs (disk-layout simulation is a single-node feature)")
+	}
+	cfg, err := gen.config()
+	if err != nil {
+		return err
+	}
+	plan, err := distribute.BuildPlan(cfg, *shardsFlag)
+	if err != nil {
+		return err
+	}
+	if err := writeJSONFile(*planFlag, plan.Encode); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "plan: %d files, %d dirs, %d bytes across %d shards (fingerprint %s)\n",
+		plan.Files, plan.Dirs, plan.Bytes, len(plan.Shards), plan.Fingerprint()[:12])
+	for _, s := range plan.Shards {
+		fmt.Fprintf(stdout, "  shard %d: %d dirs, %d files, %s (stream %s)\n",
+			s.Index, s.Dirs, s.Files, stats.FormatBytes(float64(s.Bytes)), s.StreamKey)
+	}
+	return nil
+}
+
+// runWorker executes one shard of a plan and writes its manifest.
+func runWorker(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impressions worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		planFlag     = fs.String("plan", "", "plan file produced by `impressions plan` (required)")
+		shardFlag    = fs.Int("shard", -1, "shard index to execute (required)")
+		outFlag      = fs.String("out", "", "directory to materialize the shard into (required)")
+		manifestFlag = fs.String("manifest", "", "file to write the shard manifest to (required)")
+		metadataOnly = fs.Bool("metadata-only", false, "create files with correct sizes but no content")
+		jobs         = fs.Int("j", 0, "concurrent file writers within this worker (0 = all CPUs, 1 = serial); output is byte-identical at any level")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *planFlag == "" || *shardFlag < 0 || *outFlag == "" || *manifestFlag == "" {
+		return usagef("worker: -plan, -shard, -out and -manifest are all required")
+	}
+	open, err := distribute.LoadPlan(*planFlag)
+	if err != nil {
+		return err
+	}
+	m, err := distribute.ExecuteShard(open, *shardFlag, *outFlag, distribute.WorkerOptions{MetadataOnly: *metadataOnly, Parallelism: *jobs})
+	if err != nil {
+		return err
+	}
+	if err := writeJSONFile(*manifestFlag, m.Encode); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "worker: shard %d wrote %d dirs, %d files, %d bytes under %s (manifest %s)\n",
+		m.Shard, m.Dirs, m.Files, m.Bytes, *outFlag, *manifestFlag)
+	return nil
+}
+
+// runMerge verifies shard manifests against the plan and emits the merged
+// image, report, and canonical digest.
+func runMerge(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impressions merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		planFlag    = fs.String("plan", "", "plan file produced by `impressions plan` (required)")
+		imageFlag   = fs.String("image", "", "write the merged image metadata (JSON) to this file")
+		reportFlag  = fs.String("report", "", "write the merged JSON reproducibility report to this file")
+		printDigest = fs.Bool("print-digest", false, "print only the canonical image digest line")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *planFlag == "" {
+		return usagef("merge: -plan <file> is required")
+	}
+	if fs.NArg() == 0 {
+		return usagef("merge: at least one shard manifest file is required")
+	}
+	open, err := distribute.LoadPlan(*planFlag)
+	if err != nil {
+		return err
+	}
+	manifests := make([]*distribute.Manifest, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		m, err := distribute.LoadManifest(path)
+		if err != nil {
+			return err
+		}
+		manifests = append(manifests, m)
+	}
+	res, err := distribute.Merge(open, manifests)
+	if err != nil {
+		return err
+	}
+	if !*printDigest {
+		fmt.Fprintf(stdout, "merged %s\n", res.Image.Summary())
+		if _, err := res.Report.WriteTo(stdout); err != nil {
+			return err
+		}
+	}
+	if *printDigest && res.Digest == "" {
+		return fmt.Errorf("merge: the manifests are metadata-only and carry no content digest")
+	}
+	if res.Digest != "" {
+		fmt.Fprintf(stdout, "image digest: sha256:%s\n", res.Digest)
+	}
+	if *imageFlag != "" {
+		if err := writeJSONFile(*imageFlag, res.Image.Encode); err != nil {
+			return err
+		}
+	}
+	if *reportFlag != "" {
+		if err := writeReportFile(*reportFlag, &res.Report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workerCommand builds the *exec.Cmd that distrun spawns for one shard. It
+// is a variable so tests can reroute it through the test binary's helper
+// process; the default re-executes this binary's worker subcommand.
+var workerCommand = func(planPath string, shard int, outRoot, manifestPath string, metadataOnly bool, jobs int) (*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("distrun: locating executable: %w", err)
+	}
+	args := workerArgs(planPath, shard, outRoot, manifestPath, metadataOnly, jobs)
+	return exec.Command(exe, args...), nil
+}
+
+// workerArgs builds the worker-subcommand argument list distrun (and the
+// tests' helper-process reroute) spawn a shard with.
+func workerArgs(planPath string, shard int, outRoot, manifestPath string, metadataOnly bool, jobs int) []string {
+	args := []string{"worker", "-plan", planPath, "-shard", strconv.Itoa(shard), "-out", outRoot, "-manifest", manifestPath}
+	if metadataOnly {
+		args = append(args, "-metadata-only")
+	}
+	if jobs != 0 {
+		args = append(args, "-j", strconv.Itoa(jobs))
+	}
+	return args
+}
+
+// runDistrun orchestrates the full pipeline locally: build the plan, launch
+// one worker OS process per shard (all sharing the output root — subtree
+// shards are disjoint), and merge their manifests. It exists as a
+// convenience and as a constantly exercised reference for the multi-machine
+// recipe, where the same worker invocations run on different hosts.
+func runDistrun(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impressions distrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gen := newGenFlags(fs)
+	var (
+		shardsFlag   = fs.Int("shards", 4, "number of shards / local worker processes")
+		outFlag      = fs.String("out", "", "directory to materialize the image into (required)")
+		workFlag     = fs.String("work", "", "directory for the plan and manifests (default: a temp dir, removed afterwards)")
+		metadataOnly = fs.Bool("metadata-only", false, "create files with correct sizes but no content")
+		reportFlag   = fs.String("report", "", "write the merged JSON reproducibility report to this file")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *outFlag == "" {
+		return usagef("distrun: -out <dir> is required")
+	}
+	if *gen.layout != 1.0 {
+		return usagef("distrun: -layout is not supported in distributed runs (disk-layout simulation is a single-node feature)")
+	}
+	cfg, err := gen.config()
+	if err != nil {
+		return err
+	}
+
+	workDir := *workFlag
+	if workDir == "" {
+		tmp, err := os.MkdirTemp("", "impressions-distrun-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		workDir = tmp
+	} else if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return err
+	}
+
+	plan, err := distribute.BuildPlan(cfg, *shardsFlag)
+	if err != nil {
+		return err
+	}
+	planPath := filepath.Join(workDir, "plan.json")
+	if err := writeJSONFile(planPath, plan.Encode); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "distrun: plan has %d shards; launching %d worker processes\n", len(plan.Shards), len(plan.Shards))
+
+	// Launch one OS process per shard; all materialize into the shared out
+	// root (shards own disjoint subtrees, so they never touch the same path).
+	type workerResult struct {
+		shard int
+		err   error
+	}
+	results := make(chan workerResult, len(plan.Shards))
+	manifestPaths := make([]string, len(plan.Shards))
+	workerStderr := make([]bytes.Buffer, len(plan.Shards))
+	for s := range plan.Shards {
+		manifestPaths[s] = filepath.Join(workDir, fmt.Sprintf("manifest-%d.json", s))
+		cmd, err := workerCommand(planPath, s, *outFlag, manifestPaths[s], *metadataOnly, *gen.jobs)
+		if err != nil {
+			return err
+		}
+		// Each worker's stderr goes to its own buffer (replayed after the
+		// wait): concurrent workers writing one shared writer would race
+		// and interleave.
+		cmd.Stdout = io.Discard
+		cmd.Stderr = &workerStderr[s]
+		go func(s int, cmd *exec.Cmd) {
+			if err := cmd.Run(); err != nil {
+				results <- workerResult{s, fmt.Errorf("distrun: worker %d: %w", s, err)}
+				return
+			}
+			results <- workerResult{s, nil}
+		}(s, cmd)
+	}
+	var firstErr error
+	for range plan.Shards {
+		if r := <-results; r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	for s := range workerStderr {
+		if workerStderr[s].Len() > 0 {
+			fmt.Fprintf(stderr, "--- worker %d stderr ---\n%s", s, workerStderr[s].String())
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// The plan is already in memory; Open validates and unpacks it without
+	// re-reading the file the workers used.
+	open, err := plan.Open()
+	if err != nil {
+		return err
+	}
+	manifests := make([]*distribute.Manifest, len(manifestPaths))
+	for i, p := range manifestPaths {
+		if manifests[i], err = distribute.LoadManifest(p); err != nil {
+			return err
+		}
+	}
+	res, err := distribute.Merge(open, manifests)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "distrun: merged %s\n", res.Image.Summary())
+	if res.Digest != "" {
+		fmt.Fprintf(stdout, "image digest: sha256:%s\n", res.Digest)
+	}
+	if *reportFlag != "" {
+		if err := writeReportFile(*reportFlag, &res.Report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printDefaultTable(w io.Writer) {
 	table := core.DefaultParameterTable()
 	keys := make([]string, 0, len(table))
 	for k := range table {
@@ -157,6 +574,29 @@ func printDefaultTable(w *os.File) {
 	for _, k := range keys {
 		fmt.Fprintf(w, "  %-34s %s\n", k+":", table[k])
 	}
+}
+
+// writeJSONFile creates path and streams enc's output into it, surfacing
+// the close error (short writes on full disks appear there).
+func writeJSONFile(path string, enc func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := enc(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeReportFile writes the JSON reproducibility report to path.
+func writeReportFile(path string, r *fsimage.Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // parseSize parses human-friendly sizes like "500MB", "4.55GB", "1048576".

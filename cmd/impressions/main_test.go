@@ -1,9 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"testing"
+
+	"impressions/internal/fsimage"
 )
 
 func TestParseSize(t *testing.T) {
@@ -34,7 +42,7 @@ func TestParseSize(t *testing.T) {
 }
 
 func TestRunPrintDefaults(t *testing.T) {
-	if err := run([]string{"-print-defaults"}); err != nil {
+	if err := run([]string{"-print-defaults"}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("print-defaults: %v", err)
 	}
 }
@@ -45,7 +53,7 @@ func TestRunGenerateAndMaterialize(t *testing.T) {
 	err := run([]string{
 		"-files", "80", "-dirs", "20", "-size", "4MB",
 		"-seed", "3", "-metadata-only", "-out", out, "-report", report,
-	})
+	}, io.Discard, io.Discard)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -59,16 +67,208 @@ func TestRunGenerateAndMaterialize(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-size", "notasize"}); err == nil {
+	if err := run([]string{"-size", "notasize"}, io.Discard, io.Discard); err == nil {
 		t.Error("expected error for a bad size")
 	}
-	if err := run([]string{"-files", "10", "-tree", "mystery"}); err == nil {
+	if err := run([]string{"-files", "10", "-tree", "mystery"}, io.Discard, io.Discard); err == nil {
 		t.Error("expected error for an unknown tree shape")
 	}
 }
 
 func TestRunUserSpecifiedSizeModel(t *testing.T) {
-	if err := run([]string{"-files", "50", "-size-mu", "8", "-size-sigma", "1.5"}); err != nil {
+	if err := run([]string{"-files", "50", "-size-mu", "8", "-size-sigma", "1.5"}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("user-specified run: %v", err)
+	}
+}
+
+// TestMainExitCodes is the exit-status audit: parse errors must never leave
+// the process with status 0. Bad flags and usage errors exit 2, runtime
+// failures exit 1, success and -h exit 0 — on every subcommand.
+func TestMainExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad flag value", []string{"-files", "notanumber"}, 2},
+		{"bad size", []string{"-size", "notasize"}, 2},
+		{"unknown subcommand", []string{"frobnicate"}, 2},
+		{"help", []string{"-h"}, 0},
+		{"subcommand help", []string{"plan", "-h"}, 0},
+		{"plan missing output", []string{"plan", "-files", "10"}, 2},
+		{"plan bad flag", []string{"plan", "-no-such-flag"}, 2},
+		{"worker missing args", []string{"worker"}, 2},
+		{"worker bad flag", []string{"worker", "-no-such-flag"}, 2},
+		{"worker missing plan file", []string{"worker", "-plan", "/nonexistent/plan.json", "-shard", "0", "-out", t.TempDir(), "-manifest", filepath.Join(t.TempDir(), "m.json")}, 1},
+		{"merge missing manifests", []string{"merge", "-plan", "/nonexistent/plan.json"}, 2},
+		{"merge bad flag", []string{"merge", "-no-such-flag"}, 2},
+		{"distrun missing out", []string{"distrun", "-files", "10"}, 2},
+		{"distrun bad flag", []string{"distrun", "-no-such-flag"}, 2},
+		{"generate success", []string{"-files", "30", "-seed", "2"}, 0},
+	}
+	for _, c := range cases {
+		var stderr bytes.Buffer
+		got := Main(c.args, io.Discard, &stderr)
+		if got != c.want {
+			t.Errorf("%s: Main(%q) = %d, want %d (stderr: %s)", c.name, c.args, got, c.want, stderr.String())
+		}
+		if c.want != 0 && stderr.Len() == 0 {
+			t.Errorf("%s: expected an error message on stderr", c.name)
+		}
+	}
+}
+
+// TestHelperProcess is not a real test: it is the re-exec target that lets
+// the tests below run `impressions` subcommands as genuinely separate OS
+// processes. It runs Main on the arguments after "--" and exits with its
+// status.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("IMPRESSIONS_HELPER_PROCESS") != "1" {
+		t.Skip("helper process for cross-process tests")
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	os.Exit(Main(args, os.Stdout, os.Stderr))
+}
+
+// helperCommand builds an exec.Cmd that re-runs this test binary as an
+// impressions process with the given CLI arguments.
+func helperCommand(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestHelperProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "IMPRESSIONS_HELPER_PROCESS=1")
+	return cmd
+}
+
+var digestRe = regexp.MustCompile(`image digest: (sha256:[0-9a-f]{64})`)
+
+func extractDigest(t *testing.T, out []byte) string {
+	t.Helper()
+	m := digestRe.FindSubmatch(out)
+	if m == nil {
+		t.Fatalf("no digest line in output:\n%s", out)
+	}
+	return string(m[1])
+}
+
+// TestCrossProcessDeterminism is the headline CI invariant exercised with
+// real OS processes: plan → K separate worker processes → merge must yield
+// an image byte-identical (digest and on-disk tree) to a single-process
+// run, for K ∈ {1, 2, 4}.
+func TestCrossProcessDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses; skipped in -short")
+	}
+	cfgArgs := []string{"-files", "300", "-dirs", "60", "-size", "600KB", "-seed", "4242"}
+
+	// Single-process reference, in-process.
+	singleRoot := filepath.Join(t.TempDir(), "single")
+	var buf bytes.Buffer
+	if err := run(append(append([]string{}, cfgArgs...), "-digest", "-out", singleRoot), &buf, io.Discard); err != nil {
+		t.Fatalf("single-process run: %v", err)
+	}
+	refDigest := extractDigest(t, buf.Bytes())
+	refTree, err := fsimage.HashTree(singleRoot)
+	if err != nil {
+		t.Fatalf("HashTree: %v", err)
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		work := t.TempDir()
+		planPath := filepath.Join(work, "plan.json")
+		planArgs := append([]string{"plan"}, cfgArgs...)
+		planArgs = append(planArgs, "-shards", strconv.Itoa(k), "-plan", planPath)
+		if out, err := helperCommand(t, planArgs...).CombinedOutput(); err != nil {
+			t.Fatalf("K=%d: plan process: %v\n%s", k, err, out)
+		}
+
+		// Launch the workers as concurrent separate processes, all
+		// materializing into the shared merged root.
+		mergedRoot := filepath.Join(work, "merged")
+		cmds := make([]*exec.Cmd, k)
+		manifests := make([]string, k)
+		for s := 0; s < k; s++ {
+			manifests[s] = filepath.Join(work, fmt.Sprintf("manifest-%d.json", s))
+			cmds[s] = helperCommand(t, "worker", "-plan", planPath, "-shard", strconv.Itoa(s),
+				"-out", mergedRoot, "-manifest", manifests[s])
+			if err := cmds[s].Start(); err != nil {
+				t.Fatalf("K=%d: starting worker %d: %v", k, s, err)
+			}
+		}
+		for s, cmd := range cmds {
+			if err := cmd.Wait(); err != nil {
+				t.Fatalf("K=%d: worker %d failed: %v", k, s, err)
+			}
+		}
+
+		mergeArgs := append([]string{"merge", "-plan", planPath, "-print-digest"}, manifests...)
+		out, err := helperCommand(t, mergeArgs...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("K=%d: merge process: %v\n%s", k, err, out)
+		}
+		if got := extractDigest(t, out); got != refDigest {
+			t.Fatalf("K=%d: merged digest %s != single-process digest %s", k, got, refDigest)
+		}
+		gotTree, err := fsimage.HashTree(mergedRoot)
+		if err != nil {
+			t.Fatalf("HashTree(merged): %v", err)
+		}
+		if gotTree != refTree {
+			t.Fatalf("K=%d: merged on-disk tree differs from the single-process tree", k)
+		}
+	}
+}
+
+// TestDistrunOrchestration runs the one-shot local orchestrator with the
+// worker spawn rerouted through the helper process, and checks the result
+// matches a single-process run.
+func TestDistrunOrchestration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses; skipped in -short")
+	}
+	orig := workerCommand
+	t.Cleanup(func() { workerCommand = orig })
+	workerCommand = func(planPath string, shard int, outRoot, manifestPath string, metadataOnly bool, jobs int) (*exec.Cmd, error) {
+		return helperCommand(t, workerArgs(planPath, shard, outRoot, manifestPath, metadataOnly, jobs)...), nil
+	}
+
+	cfgArgs := []string{"-files", "200", "-dirs", "40", "-size", "400KB", "-seed", "99"}
+	singleRoot := filepath.Join(t.TempDir(), "single")
+	var buf bytes.Buffer
+	if err := run(append(append([]string{}, cfgArgs...), "-digest", "-out", singleRoot), &buf, io.Discard); err != nil {
+		t.Fatalf("single-process run: %v", err)
+	}
+	refDigest := extractDigest(t, buf.Bytes())
+	refTree, err := fsimage.HashTree(singleRoot)
+	if err != nil {
+		t.Fatalf("HashTree: %v", err)
+	}
+
+	out := filepath.Join(t.TempDir(), "image")
+	report := filepath.Join(t.TempDir(), "report.json")
+	buf.Reset()
+	distArgs := append([]string{"distrun"}, cfgArgs...)
+	distArgs = append(distArgs, "-shards", "3", "-out", out, "-report", report)
+	if err := run(distArgs, &buf, io.Discard); err != nil {
+		t.Fatalf("distrun: %v", err)
+	}
+	if got := extractDigest(t, buf.Bytes()); got != refDigest {
+		t.Fatalf("distrun digest %s != single-process %s", got, refDigest)
+	}
+	gotTree, err := fsimage.HashTree(out)
+	if err != nil {
+		t.Fatalf("HashTree(distrun): %v", err)
+	}
+	if gotTree != refTree {
+		t.Fatal("distrun tree differs from single-process tree")
+	}
+	if _, err := os.Stat(report); err != nil {
+		t.Errorf("expected merged report: %v", err)
 	}
 }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"impressions/internal/content"
+	"impressions/internal/fsimage"
+	"impressions/internal/namespace"
+)
+
+// ConfigFromSpec rebuilds a generation Config from a recorded image Spec, so
+// a reported spec (or a distributed plan, which embeds one) can be re-run
+// without the original command line. The scalar knobs — seed, counts, sizes,
+// tree shape, content kind, layout score, special directories — round-trip
+// exactly. Custom distribution objects do not survive serialization (the
+// spec records only their names), so a spec generated with overridden
+// distributions reproduces the metadata only via the plan's embedded image,
+// not via ConfigFromSpec alone; for default-distribution images the returned
+// config regenerates the identical image.
+func ConfigFromSpec(spec fsimage.Spec) (Config, error) {
+	shape, err := namespace.ParseShape(spec.TreeShape)
+	if err != nil {
+		return Config{}, fmt.Errorf("core: spec: %w", err)
+	}
+	if spec.NumFiles <= 0 && spec.FSSizeBytes <= 0 {
+		return Config{}, fmt.Errorf("core: spec has neither a file count nor a size")
+	}
+	cfg := Config{
+		Seed:                  spec.Seed,
+		FSSizeBytes:           spec.FSSizeBytes,
+		NumFiles:              spec.NumFiles,
+		NumDirs:               spec.NumDirs,
+		TreeShape:             shape,
+		ContentKind:           content.Kind(spec.ContentKind),
+		LayoutScore:           spec.LayoutScore,
+		UseSpecialDirectories: spec.UseSpecialDirectories,
+	}
+	return cfg, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestConfigFromSpecRoundTrip generates an image, rebuilds the config from
+// its recorded spec, regenerates, and asserts the images are identical —
+// the reproducibility promise the spec exists for.
+func TestConfigFromSpecRoundTrip(t *testing.T) {
+	ref, err := GenerateImage(Config{NumFiles: 400, NumDirs: 80, Seed: 99, Parallelism: 1})
+	if err != nil {
+		t.Fatalf("GenerateImage: %v", err)
+	}
+	cfg, err := ConfigFromSpec(ref.Image.Spec)
+	if err != nil {
+		t.Fatalf("ConfigFromSpec: %v", err)
+	}
+	again, err := GenerateImage(cfg)
+	if err != nil {
+		t.Fatalf("regenerating from spec: %v", err)
+	}
+	if !reflect.DeepEqual(ref.Image.Files, again.Image.Files) {
+		t.Fatal("file list differs after spec round-trip")
+	}
+	if !reflect.DeepEqual(ref.Image.Tree.Dirs, again.Image.Tree.Dirs) {
+		t.Fatal("directory tree differs after spec round-trip")
+	}
+}
+
+func TestConfigFromSpecRejectsBadSpec(t *testing.T) {
+	res, err := GenerateImage(Config{NumFiles: 50, Seed: 5})
+	if err != nil {
+		t.Fatalf("GenerateImage: %v", err)
+	}
+	bad := res.Image.Spec
+	bad.TreeShape = "spiral"
+	if _, err := ConfigFromSpec(bad); err == nil {
+		t.Error("expected error for unknown tree shape")
+	}
+	empty := res.Image.Spec
+	empty.NumFiles = 0
+	empty.FSSizeBytes = 0
+	if _, err := ConfigFromSpec(empty); err == nil {
+		t.Error("expected error for a spec without counts")
+	}
+}

@@ -1,0 +1,122 @@
+package distribute
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"impressions/internal/fsimage"
+)
+
+// MergeResult is the stitched outcome of a distributed run.
+type MergeResult struct {
+	// Image is the complete merged image (metadata from the plan, content
+	// proven by the shard manifests).
+	Image *fsimage.Image
+	// Report is the reproducibility report for the merged image.
+	Report fsimage.Report
+	// Digest is the canonical image digest combined from the manifests'
+	// per-file content hashes; it equals Image.Digest computed by a
+	// single process ("" for metadata-only runs, which have no content).
+	Digest string
+	// Bytes is the total number of bytes the workers wrote.
+	Bytes int64
+}
+
+// Merge verifies the shard manifests against the plan and stitches them
+// into a single image, report, and canonical digest. It fails loudly on any
+// divergence: a missing, duplicated, or tampered manifest, a manifest from
+// a different plan, or per-shard counts, sizes, or hashes that do not match
+// the plan's expectations.
+func Merge(p *OpenPlan, manifests []*Manifest) (*MergeResult, error) {
+	want := len(p.Plan.Shards)
+	if len(manifests) != want {
+		return nil, fmt.Errorf("distribute: merge needs %d manifests (one per shard), got %d", want, len(manifests))
+	}
+	byShard := make([]*Manifest, want)
+	for _, m := range manifests {
+		if m == nil {
+			return nil, fmt.Errorf("distribute: nil manifest")
+		}
+		if m.Shard < 0 || m.Shard >= want {
+			return nil, fmt.Errorf("distribute: manifest for unknown shard %d (plan has %d shards)", m.Shard, want)
+		}
+		if byShard[m.Shard] != nil {
+			return nil, fmt.Errorf("distribute: duplicate manifest for shard %d", m.Shard)
+		}
+		byShard[m.Shard] = m
+	}
+	for s, m := range byShard {
+		if m == nil {
+			return nil, fmt.Errorf("distribute: missing manifest for shard %d", s)
+		}
+	}
+
+	fingerprint := p.Plan.Fingerprint()
+	hashed := byShard[0].ContentHashed
+	digests := make([]string, len(p.Image.Files))
+	var totalBytes int64
+	for s, m := range byShard {
+		if m.FormatVersion != FormatVersion {
+			return nil, fmt.Errorf("distribute: shard %d manifest format v%d, this build speaks v%d", s, m.FormatVersion, FormatVersion)
+		}
+		if m.PlanFingerprint != fingerprint {
+			return nil, fmt.Errorf("distribute: shard %d manifest was produced for a different plan (fingerprint %s, this plan is %s)",
+				s, m.PlanFingerprint, fingerprint)
+		}
+		if err := m.VerifySelf(); err != nil {
+			return nil, err
+		}
+		if m.ContentHashed != hashed {
+			return nil, fmt.Errorf("distribute: shard %d manifest mixes metadata-only and full-content runs", s)
+		}
+		sp := p.Plan.Shards[s]
+		if m.Dirs != sp.Dirs || m.Files != sp.Files || m.Bytes != sp.Bytes {
+			return nil, fmt.Errorf("distribute: shard %d wrote %d dirs, %d files, %d bytes; plan expects %d, %d, %d",
+				s, m.Dirs, m.Files, m.Bytes, sp.Dirs, sp.Files, sp.Bytes)
+		}
+		expect := p.FilesByShard[s]
+		if len(m.FileDigests) != len(expect) {
+			return nil, fmt.Errorf("distribute: shard %d manifest lists %d files, plan assigns %d", s, len(m.FileDigests), len(expect))
+		}
+		for i, fd := range m.FileDigests {
+			id := expect[i]
+			if fd.ID != id {
+				return nil, fmt.Errorf("distribute: shard %d manifest entry %d is file %d, plan assigns file %d", s, i, fd.ID, id)
+			}
+			if fd.Size != p.Image.Files[id].Size {
+				return nil, fmt.Errorf("distribute: shard %d reports %d bytes for file %d, plan says %d", s, fd.Size, id, p.Image.Files[id].Size)
+			}
+			if hashed && fd.SHA256 == "" {
+				return nil, fmt.Errorf("distribute: shard %d manifest is missing the content hash of file %d", s, id)
+			}
+			digests[id] = fd.SHA256
+			totalBytes += fd.Size
+		}
+	}
+	if totalBytes != p.Plan.Bytes {
+		return nil, fmt.Errorf("distribute: merged bytes %d do not match plan total %d", totalBytes, p.Plan.Bytes)
+	}
+
+	res := &MergeResult{Image: p.Image, Bytes: totalBytes}
+	if hashed {
+		digest, err := fsimage.CombineDigest(p.Image, digests)
+		if err != nil {
+			return nil, fmt.Errorf("distribute: combining digests: %w", err)
+		}
+		res.Digest = digest
+	}
+	spec := p.Image.Spec
+	res.Report = fsimage.Report{
+		Spec:                spec,
+		GeneratedAt:         time.Now(),
+		ActualFiles:         p.Image.FileCount(),
+		ActualDirs:          p.Image.DirCount(),
+		ActualBytes:         totalBytes,
+		AchievedLayoutScore: 1.0,
+	}
+	if spec.FSSizeBytes > 0 {
+		res.Report.SumError = math.Abs(float64(totalBytes-spec.FSSizeBytes)) / float64(spec.FSSizeBytes)
+	}
+	return res, nil
+}

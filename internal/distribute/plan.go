@@ -1,0 +1,266 @@
+// Package distribute implements multi-node generation of file-system
+// images as a shard-plan / worker / merge pipeline:
+//
+//   - BuildPlan runs the (cheap) metadata pass once — directory skeleton,
+//     constrained file sizes, extensions, placement — and partitions the
+//     namespace into balanced subtree shards, each carrying its stable RNG
+//     stream key. The Plan serializes to JSON.
+//   - ExecuteShard runs one shard in total isolation: it needs only the plan
+//     file, materializes the shard's directories and files (the expensive
+//     content pass), and emits a Manifest recording per-file content hashes.
+//     Workers share nothing, so "multi-node" is any shared-nothing fleet:
+//     processes, containers, CI jobs, or machines.
+//   - Merge stitches the manifests back into a single image + report,
+//     verifying count, byte, and hash invariants, and computes the canonical
+//     image digest.
+//
+// The headline invariant, enforced by tests and CI: for a fixed seed,
+// plan → K workers → merge produces an image byte-identical to a
+// single-process run, for any K. This holds because every RNG stream is a
+// pure function of the master seed and a stable key (see
+// stats.StreamKey), never of process or worker identity.
+package distribute
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"impressions/internal/core"
+	"impressions/internal/fsimage"
+	"impressions/internal/namespace"
+	"impressions/internal/stats"
+)
+
+// FormatVersion is the plan/manifest wire-format version. Workers refuse
+// plans from a different major format.
+const FormatVersion = 1
+
+// ShardPlan describes one shard of the partitioned namespace.
+type ShardPlan struct {
+	// Index is the shard's position in Plan.Shards.
+	Index int `json:"index"`
+	// StreamKey is the stable RNG stream key (stats.StreamKey textual form)
+	// of the content stream root; per-file streams are idx:<fileID> children
+	// of it. Workers validate it instead of assuming this build's constant.
+	StreamKey string `json:"stream_key"`
+	// Roots lists the cut-set subtree roots owned by this shard. Roots may
+	// sit at any depth (the balanced partitioner cuts dominant subtrees
+	// below the top level, and a split directory appears as a singleton
+	// root); a directory belongs to the shard of its nearest
+	// ancestor-or-self in the cut set. Together with the embedded image the
+	// roots fully determine the partition (namespace.PartitionFromRoots).
+	Roots []int `json:"roots"`
+	// Dirs / Files / Bytes are the expected shard totals, verified against
+	// the worker's manifest at merge time.
+	Dirs  int   `json:"dirs"`
+	Files int   `json:"files"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Plan is the serializable unit of work distribution: the fully resolved
+// image metadata plus the shard partition. It is self-contained — a worker
+// needs nothing but the plan file and its shard index.
+type Plan struct {
+	FormatVersion int    `json:"format_version"`
+	Seed          int64  `json:"seed"`
+	ContentKind   string `json:"content_kind"`
+	// DigestAlgo names the canonical image-digest formula manifests feed.
+	DigestAlgo string `json:"digest_algo"`
+	Files      int    `json:"files"`
+	Dirs       int    `json:"dirs"`
+	Bytes      int64  `json:"bytes"`
+	// Image is the fsimage JSON encoding of the resolved metadata.
+	Image json.RawMessage `json:"image"`
+	// ImageSHA256 guards the embedded image bytes against corruption.
+	ImageSHA256 string      `json:"image_sha256"`
+	Shards      []ShardPlan `json:"shards"`
+}
+
+// contentStreamKey is the stream key every shard records for the content
+// pass. It is data, not just code: workers apply/validate what the plan
+// says rather than assuming their own constant.
+func contentStreamKey() stats.StreamKey {
+	return stats.StreamKey{stats.ForkStep(fsimage.MaterializeStreamLabel)}
+}
+
+// BuildPlan runs the metadata pass for cfg and partitions the result into
+// exactly maxShards balanced subtree shards (oversized subtrees are cut at
+// deeper levels, so one worker per shard holds even when the generative
+// model concentrates the namespace under a few top-level directories).
+// Disk-layout simulation is always skipped: plans describe images, and the
+// expensive content pass is the workers' job.
+func BuildPlan(cfg core.Config, maxShards int) (*Plan, error) {
+	if maxShards < 1 {
+		return nil, fmt.Errorf("distribute: shard count %d < 1", maxShards)
+	}
+	cfg.SimulateDisk = false
+	cfg.LayoutScore = 1.0
+	gen, err := core.NewGenerator(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("distribute: %w", err)
+	}
+	res, err := gen.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("distribute: metadata pass: %w", err)
+	}
+	img := res.Image
+
+	part := namespace.PartitionBalanced(img.Tree, maxShards, fsimage.ShardWeight)
+	shards := make([]ShardPlan, part.Len())
+	fileShards := make([]int, part.Len())
+	byteShards := make([]int64, part.Len())
+	for _, f := range img.Files {
+		s := part.ShardOf(f.DirID)
+		fileShards[s]++
+		byteShards[s] += f.Size
+	}
+	key := contentStreamKey().String()
+	for s := range shards {
+		shards[s] = ShardPlan{
+			Index:     s,
+			StreamKey: key,
+			Roots:     part.ShardRoots(img.Tree, s),
+			Dirs:      len(part.Shards[s]),
+			Files:     fileShards[s],
+			Bytes:     byteShards[s],
+		}
+	}
+
+	var pretty bytes.Buffer
+	if err := img.Encode(&pretty); err != nil {
+		return nil, fmt.Errorf("distribute: %w", err)
+	}
+	// Compact the embedded image: encoding/json compacts RawMessage fields
+	// when marshalling the plan, so hashing the compact form is what makes
+	// the integrity hash stable across an encode/decode round-trip.
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, pretty.Bytes()); err != nil {
+		return nil, fmt.Errorf("distribute: compacting image: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return &Plan{
+		FormatVersion: FormatVersion,
+		Seed:          img.Spec.Seed,
+		ContentKind:   img.Spec.ContentKind,
+		DigestAlgo:    fsimage.DigestVersion,
+		Files:         img.FileCount(),
+		Dirs:          img.DirCount(),
+		Bytes:         img.TotalBytes(),
+		Image:         json.RawMessage(buf.Bytes()),
+		ImageSHA256:   hex.EncodeToString(sum[:]),
+		Shards:        shards,
+	}, nil
+}
+
+// Encode writes the plan as JSON.
+func (p *Plan) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("distribute: encoding plan: %w", err)
+	}
+	return nil
+}
+
+// DecodePlan reads a plan previously written by Encode. It performs only
+// syntactic decoding; Open validates and unpacks it.
+func DecodePlan(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("distribute: decoding plan: %w", err)
+	}
+	return &p, nil
+}
+
+// LoadPlan reads and opens a plan file.
+func LoadPlan(path string) (*OpenPlan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("distribute: %w", err)
+	}
+	defer f.Close()
+	p, err := DecodePlan(f)
+	if err != nil {
+		return nil, err
+	}
+	return p.Open()
+}
+
+// Fingerprint returns a SHA-256 (hex) over every field of the plan that
+// determines worker output. Manifests record it, binding each manifest to
+// the exact plan it was executed against; merge rejects any mismatch.
+func (p *Plan) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "impressions-plan-v%d\nseed:%d\ncontent:%s\nalgo:%s\ndirs:%d files:%d bytes:%d\nimage:%s\n",
+		p.FormatVersion, p.Seed, p.ContentKind, p.DigestAlgo, p.Dirs, p.Files, p.Bytes, p.ImageSHA256)
+	for _, s := range p.Shards {
+		fmt.Fprintf(h, "shard:%d key:%s dirs:%d files:%d bytes:%d roots:", s.Index, s.StreamKey, s.Dirs, s.Files, s.Bytes)
+		for _, r := range s.Roots {
+			fmt.Fprintf(h, "%d,", r)
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// OpenPlan is a validated, unpacked plan: the decoded image, the rebuilt
+// partition, and the per-shard file lists.
+type OpenPlan struct {
+	Plan  *Plan
+	Image *fsimage.Image
+	Part  *namespace.Partition
+	// FilesByShard lists each shard's file indices in ascending order.
+	FilesByShard [][]int
+}
+
+// Open validates the plan — format version, image integrity, partition
+// reconstruction, per-shard invariants — and unpacks it for execution.
+func (p *Plan) Open() (*OpenPlan, error) {
+	if p.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("distribute: plan format v%d, this build speaks v%d", p.FormatVersion, FormatVersion)
+	}
+	if p.DigestAlgo != fsimage.DigestVersion {
+		return nil, fmt.Errorf("distribute: plan digest algo %q, this build computes %q", p.DigestAlgo, fsimage.DigestVersion)
+	}
+	sum := sha256.Sum256(p.Image)
+	if got := hex.EncodeToString(sum[:]); got != p.ImageSHA256 {
+		return nil, fmt.Errorf("distribute: embedded image hash mismatch: plan says %s, bytes hash to %s", p.ImageSHA256, got)
+	}
+	img, err := fsimage.Decode(bytes.NewReader(p.Image))
+	if err != nil {
+		return nil, fmt.Errorf("distribute: embedded image: %w", err)
+	}
+	if img.FileCount() != p.Files || img.DirCount() != p.Dirs || img.TotalBytes() != p.Bytes {
+		return nil, fmt.Errorf("distribute: plan totals (%d files, %d dirs, %d bytes) do not match embedded image (%d, %d, %d)",
+			p.Files, p.Dirs, p.Bytes, img.FileCount(), img.DirCount(), img.TotalBytes())
+	}
+	roots := make([][]int, len(p.Shards))
+	for i, s := range p.Shards {
+		if s.Index != i {
+			return nil, fmt.Errorf("distribute: shard %d recorded with index %d", i, s.Index)
+		}
+		roots[i] = s.Roots
+	}
+	part, err := namespace.PartitionFromRoots(img.Tree, roots)
+	if err != nil {
+		return nil, fmt.Errorf("distribute: rebuilding partition: %w", err)
+	}
+	filesByShard := make([][]int, part.Len())
+	byteShards := make([]int64, part.Len())
+	for i := range img.Files {
+		s := part.ShardOf(img.Files[i].DirID)
+		filesByShard[s] = append(filesByShard[s], i)
+		byteShards[s] += img.Files[i].Size
+	}
+	for i, s := range p.Shards {
+		if len(part.Shards[i]) != s.Dirs || len(filesByShard[i]) != s.Files || byteShards[i] != s.Bytes {
+			return nil, fmt.Errorf("distribute: shard %d expectations (%d dirs, %d files, %d bytes) do not match the embedded image (%d, %d, %d)",
+				i, s.Dirs, s.Files, s.Bytes, len(part.Shards[i]), len(filesByShard[i]), byteShards[i])
+		}
+	}
+	return &OpenPlan{Plan: p, Image: img, Part: part, FilesByShard: filesByShard}, nil
+}

@@ -1,0 +1,218 @@
+package distribute
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"impressions/internal/content"
+	"impressions/internal/fsimage"
+	"impressions/internal/parallel"
+	"impressions/internal/stats"
+)
+
+// FileDigest records one written file in a shard manifest.
+type FileDigest struct {
+	// ID is the file's index in the plan's image.
+	ID int `json:"id"`
+	// Size is the file's size in bytes.
+	Size int64 `json:"size"`
+	// SHA256 is the hex content hash (empty in metadata-only runs).
+	SHA256 string `json:"sha256,omitempty"`
+}
+
+// Manifest is a worker's proof of work for one shard: what it wrote, and
+// the hashes that let the merge step verify it without re-reading a byte.
+type Manifest struct {
+	FormatVersion int `json:"format_version"`
+	// PlanFingerprint binds the manifest to the exact plan it executed.
+	PlanFingerprint string `json:"plan_fingerprint"`
+	Shard           int    `json:"shard"`
+	Dirs            int    `json:"dirs"`
+	Files           int    `json:"files"`
+	Bytes           int64  `json:"bytes"`
+	// ContentHashed is false for metadata-only runs, where no content exists
+	// to hash; merged digests are then unavailable.
+	ContentHashed bool         `json:"content_hashed"`
+	FileDigests   []FileDigest `json:"file_digests"`
+	// ManifestSHA256 is a self-integrity hash over all fields above; Merge
+	// recomputes it and rejects any manifest that was altered in transit.
+	ManifestSHA256 string `json:"manifest_sha256"`
+}
+
+// selfHash computes the manifest's integrity hash.
+func (m *Manifest) selfHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "impressions-manifest-v%d\nplan:%s\nshard:%d dirs:%d files:%d bytes:%d hashed:%t\n",
+		m.FormatVersion, m.PlanFingerprint, m.Shard, m.Dirs, m.Files, m.Bytes, m.ContentHashed)
+	for _, fd := range m.FileDigests {
+		fmt.Fprintf(h, "%d %d %s\n", fd.ID, fd.Size, fd.SHA256)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Seal fills in the manifest's self-integrity hash.
+func (m *Manifest) Seal() { m.ManifestSHA256 = m.selfHash() }
+
+// VerifySelf checks the manifest's self-integrity hash.
+func (m *Manifest) VerifySelf() error {
+	if m.ManifestSHA256 == "" {
+		return fmt.Errorf("distribute: shard %d manifest is unsealed", m.Shard)
+	}
+	if got := m.selfHash(); got != m.ManifestSHA256 {
+		return fmt.Errorf("distribute: shard %d manifest failed its integrity check (recorded %s, recomputed %s) — tampered or truncated",
+			m.Shard, m.ManifestSHA256, got)
+	}
+	return nil
+}
+
+// Encode writes the manifest as JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("distribute: encoding manifest: %w", err)
+	}
+	return nil
+}
+
+// DecodeManifest reads a manifest previously written by Encode.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("distribute: decoding manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// LoadManifest reads a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("distribute: %w", err)
+	}
+	defer f.Close()
+	return DecodeManifest(f)
+}
+
+// WorkerOptions controls one shard execution.
+type WorkerOptions struct {
+	// MetadataOnly creates correctly sized but empty files (no content, no
+	// content hashes).
+	MetadataOnly bool
+	// DirPerm / FilePerm override the created entries' permissions.
+	DirPerm  os.FileMode
+	FilePerm os.FileMode
+	// Parallelism is the number of concurrent file writers within this
+	// worker; 0 selects runtime.NumCPU(), 1 forces the serial path. As
+	// everywhere else, the written bytes are identical at every level.
+	Parallelism int
+}
+
+// ExecuteShard runs one shard of the plan in isolation: it materializes the
+// shard's directories and files under outRoot and returns the sealed
+// manifest. It reads nothing but the open plan — no state is shared with
+// other workers, so any number of ExecuteShard calls may run concurrently
+// in one process, in N processes, or on N machines. Shards from different
+// workers may share outRoot (subtrees are disjoint) or use separate roots
+// that are later combined; the bytes written are identical either way.
+func ExecuteShard(p *OpenPlan, shard int, outRoot string, opts WorkerOptions) (*Manifest, error) {
+	if shard < 0 || shard >= len(p.Plan.Shards) {
+		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards)", shard, len(p.Plan.Shards))
+	}
+	sp := p.Plan.Shards[shard]
+
+	// The plan's stream key is authoritative: validate that this build
+	// derives the content stream the plan was built for, instead of silently
+	// writing bytes from a different stream.
+	key, err := stats.ParseStreamKey(sp.StreamKey)
+	if err != nil {
+		return nil, fmt.Errorf("distribute: shard %d stream key: %w", shard, err)
+	}
+	want := stats.DeriveSeed(p.Plan.Seed, fsimage.MaterializeStreamLabel)
+	if got := key.Apply(p.Plan.Seed); got != want {
+		return nil, fmt.Errorf("distribute: shard %d stream key %q derives seed %d; this build's content stream derives %d — plan is from an incompatible version",
+			shard, sp.StreamKey, got, want)
+	}
+
+	var digests []string
+	if !opts.MetadataOnly {
+		digests = make([]string, len(p.Image.Files))
+	}
+	mopts := fsimage.MaterializeOptions{
+		Registry:     content.NewRegistry(content.Kind(p.Plan.ContentKind)),
+		Seed:         p.Plan.Seed,
+		MetadataOnly: opts.MetadataOnly,
+		DirPerm:      opts.DirPerm,
+		FilePerm:     opts.FilePerm,
+	}
+	written, err := materializeShardParallel(p, shard, outRoot, mopts, opts.Parallelism, digests)
+	if err != nil {
+		return nil, fmt.Errorf("distribute: shard %d: %w", shard, err)
+	}
+
+	m := &Manifest{
+		FormatVersion:   FormatVersion,
+		PlanFingerprint: p.Plan.Fingerprint(),
+		Shard:           shard,
+		Dirs:            len(p.Part.Shards[shard]),
+		Files:           len(p.FilesByShard[shard]),
+		Bytes:           written,
+		ContentHashed:   !opts.MetadataOnly,
+		FileDigests:     make([]FileDigest, 0, len(p.FilesByShard[shard])),
+	}
+	for _, i := range p.FilesByShard[shard] {
+		fd := FileDigest{ID: i, Size: p.Image.Files[i].Size}
+		if digests != nil {
+			fd.SHA256 = digests[i]
+		}
+		m.FileDigests = append(m.FileDigests, fd)
+	}
+	m.Seal()
+	return m, nil
+}
+
+// materializeShardParallel writes one shard with up to `parallelism`
+// concurrent file writers: directories first (one serial pass, ascending ID
+// order), then the shard's files in fixed-size chunks. Chunk boundaries and
+// per-file RNG streams depend only on file IDs, and digest slots are
+// disjoint, so the output and manifest are identical at every level.
+func materializeShardParallel(p *OpenPlan, shard int, outRoot string, mopts fsimage.MaterializeOptions, parallelism int, digests []string) (int64, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if _, err := p.Image.MaterializeShard(outRoot, p.Part.Shards[shard], nil, mopts, nil); err != nil {
+		return 0, err
+	}
+	files := p.FilesByShard[shard]
+	var (
+		written atomic.Int64
+		mu      sync.Mutex
+		firstEr error
+	)
+	// RunChunks sizes chunks to the worker count (a fixed 4096-item chunk
+	// would leave any shard under 4096 files on one goroutine). Safe here
+	// because all randomness is per-file, keyed by file ID.
+	parallel.RunChunks(parallelism, len(files), func(lo, hi int) {
+		mu.Lock()
+		failed := firstEr != nil
+		mu.Unlock()
+		if failed {
+			return
+		}
+		n, err := p.Image.MaterializeShard(outRoot, nil, files[lo:hi], mopts, digests)
+		written.Add(n)
+		if err != nil {
+			mu.Lock()
+			if firstEr == nil {
+				firstEr = err
+			}
+			mu.Unlock()
+		}
+	})
+	return written.Load(), firstEr
+}

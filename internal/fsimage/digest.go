@@ -1,0 +1,167 @@
+package fsimage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"impressions/internal/parallel"
+	"impressions/internal/stats"
+)
+
+// DigestVersion names the canonical image-digest formula. It is part of the
+// distributed pipeline's wire contract: shard manifests carry per-file
+// content hashes, the merge step combines them with CombineDigest, and the
+// result must equal Digest computed by a single process. Bump the version if
+// the formula ever changes.
+const DigestVersion = "impressions-image-digest-v1"
+
+// MaterializeStreamLabel is the fork label of the RNG stream that drives
+// content generation; per-file streams are SplitN(fileID) children of it.
+// Exported so the distributed plan can record the stream key explicitly.
+const MaterializeStreamLabel = "materialize"
+
+// ContentDigests returns the SHA-256 (hex) of every file's generated
+// content, indexed by file ID, without touching disk: each file's generator
+// writes straight into a hash. The per-file RNG streams are exactly the ones
+// Materialize uses, so digests[i] is the hash of the bytes Materialize would
+// write for file i.
+func (img *Image) ContentDigests(opts MaterializeOptions) ([]string, error) {
+	opts = opts.normalized(img)
+	digests := make([]string, len(img.Files))
+	baseRNG := stats.NewRNG(opts.Seed).Fork(MaterializeStreamLabel)
+	var (
+		mu      sync.Mutex
+		firstEr error
+	)
+	// Chunks scale with the worker count (per-file streams are ID-keyed, so
+	// boundaries are free to move); a fixed 4096-file chunk would hash any
+	// smaller image serially.
+	parallel.RunChunks(opts.Parallelism, len(img.Files), func(lo, hi int) {
+		mu.Lock()
+		failed := firstEr != nil
+		mu.Unlock()
+		if failed {
+			return
+		}
+		h := sha256.New()
+		for i := lo; i < hi; i++ {
+			f := img.Files[i]
+			h.Reset()
+			rng := baseRNG.SplitN(uint64(f.ID))
+			if err := opts.Registry.ForExtension(f.Ext).Generate(h, f.Size, rng); err != nil {
+				mu.Lock()
+				if firstEr == nil {
+					firstEr = fmt.Errorf("fsimage: hashing content of file %d: %w", f.ID, err)
+				}
+				mu.Unlock()
+				return
+			}
+			digests[f.ID] = hex.EncodeToString(h.Sum(nil))
+		}
+	})
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return digests, nil
+}
+
+// Digest computes the canonical SHA-256 of the image: directory paths in ID
+// order, then every file's path, size and content hash in ID order. Two
+// images with equal digests materialize to byte-identical trees. It is
+// computed without touching disk; the distributed merge step reproduces the
+// same value from shard manifests via CombineDigest.
+func (img *Image) Digest(opts MaterializeOptions) (string, error) {
+	digests, err := img.ContentDigests(opts)
+	if err != nil {
+		return "", err
+	}
+	return CombineDigest(img, digests)
+}
+
+// CombineDigest folds per-file content hashes (indexed by file ID, as
+// returned by ContentDigests or collected from shard manifests) into the
+// canonical image digest.
+func CombineDigest(img *Image, fileDigests []string) (string, error) {
+	if len(fileDigests) != len(img.Files) {
+		return "", fmt.Errorf("fsimage: %d file digests for %d files", len(fileDigests), len(img.Files))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\ndirs:%d files:%d bytes:%d\n", DigestVersion, img.DirCount(), img.FileCount(), img.TotalBytes())
+	for id := range img.Tree.Dirs {
+		fmt.Fprintf(h, "D %s\n", img.Tree.Path(id))
+	}
+	for i, f := range img.Files {
+		if fileDigests[i] == "" {
+			return "", fmt.Errorf("fsimage: missing content digest for file %d", i)
+		}
+		fmt.Fprintf(h, "F %s %d %s\n", img.FilePath(f), f.Size, fileDigests[i])
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// HashTree computes a canonical SHA-256 over a real directory tree: every
+// entry in sorted relative-path order, directories as "D path", files as
+// "F path size contenthash". Two roots hash equal iff they hold the same
+// tree with byte-identical file contents, so it is the on-disk counterpart
+// of Digest for verifying that a distributed materialization produced
+// exactly the single-process tree.
+func HashTree(root string) (string, error) {
+	type entry struct {
+		rel   string
+		isDir bool
+		size  int64
+		sum   string
+	}
+	var entries []entry
+	h := sha256.New()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			return nil
+		}
+		if d.IsDir() {
+			entries = append(entries, entry{rel: rel, isDir: true})
+			return nil
+		}
+		fh, oerr := os.Open(path)
+		if oerr != nil {
+			return oerr
+		}
+		defer fh.Close()
+		h.Reset()
+		n, cerr := io.Copy(h, fh)
+		if cerr != nil {
+			return cerr
+		}
+		entries = append(entries, entry{rel: rel, size: n, sum: hex.EncodeToString(h.Sum(nil))})
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("fsimage: hashing tree %q: %w", root, err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].rel < entries[j].rel })
+	top := sha256.New()
+	fmt.Fprintf(top, "impressions-tree-hash-v1\n")
+	for _, e := range entries {
+		if e.isDir {
+			fmt.Fprintf(top, "D %s\n", e.rel)
+		} else {
+			fmt.Fprintf(top, "F %s %d %s\n", e.rel, e.size, e.sum)
+		}
+	}
+	return hex.EncodeToString(top.Sum(nil)), nil
+}

@@ -2,7 +2,11 @@ package fsimage
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"hash"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -35,16 +39,16 @@ type MaterializeOptions struct {
 	// drawn from a stream derived from the seed and the file's ID, so the
 	// written bytes are identical at every parallelism level.
 	Parallelism int
+	// Digests, when non-nil, must have length Image.FileCount(); the SHA-256
+	// (hex) of each written file's content is stored at its file ID during
+	// the write, saving a second content-generation pass when both the image
+	// and its digest are wanted. Slots stay empty with MetadataOnly. Shard
+	// workers write disjoint slots, so no synchronization is needed.
+	Digests []string
 }
 
-// Materialize writes the image as a real directory tree rooted at root.
-// It returns the number of bytes written.
-//
-// The image is partitioned into subtree shards (namespace.PartitionSubtrees)
-// and each worker creates its shard's directories and files; per-file RNG
-// streams keep the output byte-identical regardless of the worker count, and
-// per-shard byte counts are merged into the single returned total.
-func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, error) {
+// normalized fills in the option defaults relative to an image.
+func (opts MaterializeOptions) normalized(img *Image) MaterializeOptions {
 	if opts.Registry == nil {
 		opts.Registry = content.NewRegistry(content.KindDefault)
 	}
@@ -57,9 +61,35 @@ func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, erro
 	if opts.FilePerm == 0 {
 		opts.FilePerm = 0o644
 	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.NumCPU()
+	}
+	return opts
+}
+
+// ShardWeight estimates the materialization cost of one directory (its
+// bytes, a per-file creation overhead, and a per-directory floor). It is
+// the one weighting both Materialize and the distributed planner balance
+// shards by, so single-process and distributed runs split work the same way.
+func ShardWeight(d *namespace.Dir) float64 {
+	return float64(d.Bytes) + 16*1024*float64(d.FileCount) + 4096
+}
+
+// Materialize writes the image as a real directory tree rooted at root.
+// It returns the number of bytes written.
+//
+// The image is partitioned into balanced shards (namespace.PartitionBalanced,
+// which may cut dominant subtrees at deeper levels — a shard's directory list
+// can contain deep cut roots whose ancestors belong to other shards and are
+// created implicitly via MkdirAll); each worker creates its shard's
+// directories and files. Per-file RNG streams keep the output byte-identical
+// regardless of the worker count, and per-shard byte counts are merged into
+// the single returned total.
+func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, error) {
+	opts = opts.normalized(img)
 	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	if opts.Digests != nil && len(opts.Digests) != len(img.Files) {
+		return 0, fmt.Errorf("fsimage: digest slice has length %d, want %d", len(opts.Digests), len(img.Files))
 	}
 	if err := os.MkdirAll(root, opts.DirPerm); err != nil {
 		return 0, fmt.Errorf("fsimage: creating root %q: %w", root, err)
@@ -68,18 +98,18 @@ func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, erro
 	// Partition the namespace into balanced subtree shards; weight each
 	// directory by the bytes and files it holds directly so shards carry
 	// comparable write work. Over-shard relative to the worker count so the
-	// atomic shard queue can smooth out uneven subtrees.
+	// atomic shard queue can smooth out uneven subtrees; the balanced
+	// partitioner cuts dominant subtrees at deeper levels, so shards stay
+	// comparable even on heavily skewed generative trees.
 	shardGoal := workers * 4
-	part := namespace.PartitionSubtrees(img.Tree, shardGoal, func(d *namespace.Dir) float64 {
-		return float64(d.Bytes) + 16*1024*float64(d.FileCount) + 4096
-	})
+	part := namespace.PartitionBalanced(img.Tree, shardGoal, ShardWeight)
 	filesByShard := make([][]int, part.Len())
 	for i := range img.Files {
 		s := part.ShardOf(img.Files[i].DirID)
 		filesByShard[s] = append(filesByShard[s], i)
 	}
 
-	baseRNG := stats.NewRNG(opts.Seed).Fork("materialize")
+	baseRNG := stats.NewRNG(opts.Seed).Fork(MaterializeStreamLabel)
 	var (
 		written atomic.Int64
 		mu      sync.Mutex
@@ -92,7 +122,7 @@ func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, erro
 		if failed {
 			return // short-circuit remaining shards after the first error
 		}
-		n, err := img.materializeShard(root, part.Shards[s], filesByShard[s], opts, baseRNG)
+		n, err := img.materializeShard(root, part.Shards[s], filesByShard[s], opts, baseRNG, opts.Digests)
 		written.Add(n)
 		if err != nil {
 			mu.Lock()
@@ -105,11 +135,35 @@ func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, erro
 	return written.Load(), firstEr
 }
 
+// MaterializeShard creates the given directories and files of the image
+// under root, the primitive one distributed worker process executes for its
+// shard. dirs and files are image IDs/indices; dirs must be in ascending ID
+// order so parents precede children (namespace.Partition shard lists are).
+// The image root itself is created if missing. When digests is non-nil it
+// must have length len(img.Files); the SHA-256 (hex) of each written file's
+// content is stored at its file ID, so shard manifests can prove what was
+// written without re-reading it. With MetadataOnly no content exists and
+// digest slots are left empty.
+func (img *Image) MaterializeShard(root string, dirs, files []int, opts MaterializeOptions, digests []string) (int64, error) {
+	opts = opts.normalized(img)
+	if digests == nil {
+		digests = opts.Digests
+	}
+	if digests != nil && len(digests) != len(img.Files) {
+		return 0, fmt.Errorf("fsimage: digest slice has length %d, want %d", len(digests), len(img.Files))
+	}
+	if err := os.MkdirAll(root, opts.DirPerm); err != nil {
+		return 0, fmt.Errorf("fsimage: creating root %q: %w", root, err)
+	}
+	baseRNG := stats.NewRNG(opts.Seed).Fork(MaterializeStreamLabel)
+	return img.materializeShard(root, dirs, files, opts, baseRNG, digests)
+}
+
 // materializeShard creates one shard's directories and files. Shard directory
 // lists are in ascending ID order, so parents within the shard's subtrees are
 // created before their children; a subtree's own root hangs directly off the
 // image root, which already exists.
-func (img *Image) materializeShard(root string, dirs []int, files []int, opts MaterializeOptions, baseRNG *stats.RNG) (int64, error) {
+func (img *Image) materializeShard(root string, dirs []int, files []int, opts MaterializeOptions, baseRNG *stats.RNG, digests []string) (int64, error) {
 	for _, id := range dirs {
 		if id == 0 {
 			continue
@@ -120,15 +174,25 @@ func (img *Image) materializeShard(root string, dirs []int, files []int, opts Ma
 		}
 	}
 	var written int64
+	var sum hash.Hash
+	if digests != nil {
+		sum = sha256.New()
+	}
 	for _, i := range files {
 		f := img.Files[i]
 		p := filepath.Join(root, filepath.FromSlash(img.FilePath(f)))
 		// Each file owns a stream keyed by its ID: content depends only on
 		// the seed and the file, never on write order or worker identity.
 		rng := baseRNG.SplitN(uint64(f.ID))
-		n, err := writeFile(p, f, opts, rng)
+		if sum != nil {
+			sum.Reset()
+		}
+		n, err := writeFile(p, f, opts, rng, sum)
 		if err != nil {
 			return written, err
+		}
+		if sum != nil && !opts.MetadataOnly {
+			digests[f.ID] = hex.EncodeToString(sum.Sum(nil))
 		}
 		written += n
 	}
@@ -141,7 +205,7 @@ var writerPool = sync.Pool{
 	New: func() any { return bufio.NewWriterSize(nil, 64*1024) },
 }
 
-func writeFile(path string, f File, opts MaterializeOptions, rng *stats.RNG) (int64, error) {
+func writeFile(path string, f File, opts MaterializeOptions, rng *stats.RNG, sum hash.Hash) (int64, error) {
 	fh, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, opts.FilePerm)
 	if err != nil {
 		return 0, fmt.Errorf("fsimage: creating file %q: %w", path, err)
@@ -161,7 +225,13 @@ func writeFile(path string, f File, opts MaterializeOptions, rng *stats.RNG) (in
 		bw.Reset(nil) // drop the file reference before pooling
 		writerPool.Put(bw)
 	}()
-	if err := opts.Registry.ForExtension(f.Ext).Generate(bw, f.Size, rng); err != nil {
+	var dst io.Writer = bw
+	if sum != nil {
+		// The hash taps the generator's output directly, before buffering, so
+		// it observes exactly the bytes that reach the file.
+		dst = io.MultiWriter(bw, sum)
+	}
+	if err := opts.Registry.ForExtension(f.Ext).Generate(dst, f.Size, rng); err != nil {
 		return 0, fmt.Errorf("fsimage: writing content for %q: %w", path, err)
 	}
 	if err := bw.Flush(); err != nil {

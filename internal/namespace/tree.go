@@ -14,6 +14,7 @@
 package namespace
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
 )
@@ -89,6 +90,21 @@ func (s TreeShape) String() string {
 		return "deep"
 	default:
 		return "generative"
+	}
+}
+
+// ParseShape parses a shape name ("generative", "flat", "deep"; "" selects
+// generative) as produced by TreeShape.String.
+func ParseShape(s string) (TreeShape, error) {
+	switch s {
+	case "", "generative":
+		return ShapeGenerative, nil
+	case "flat":
+		return ShapeFlat, nil
+	case "deep":
+		return ShapeDeep, nil
+	default:
+		return ShapeGenerative, fmt.Errorf("namespace: unknown tree shape %q", s)
 	}
 }
 

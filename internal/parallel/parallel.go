@@ -72,3 +72,34 @@ func Run(workers, shards int, fn func(shard int)) {
 	}
 	wg.Wait()
 }
+
+// RunChunks executes fn(lo, hi) over contiguous chunks of n items on up to
+// workers goroutines, sizing chunks so there are ~4 per worker (clamped to
+// [1, DefaultShardSize] items each). Unlike Shards/Bounds — whose fixed
+// boundaries exist so per-shard RNG streams stay put — chunk boundaries here
+// depend on the worker count, so RunChunks is only for loops whose work is
+// keyed per item (e.g. per-file content streams), never per chunk.
+func RunChunks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > DefaultShardSize {
+		chunk = DefaultShardSize
+	}
+	chunks := (n + chunk - 1) / chunk
+	Run(workers, chunks, func(s int) {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

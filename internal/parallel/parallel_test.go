@@ -1,6 +1,10 @@
 package parallel
 
-import "testing"
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
 
 // TestRunCoversAllShards exercises the worker pool under the race detector:
 // every shard must run exactly once regardless of worker count.
@@ -37,5 +41,33 @@ func TestShardBounds(t *testing.T) {
 	}
 	if Shards(0) != 0 {
 		t.Fatalf("Shards(0) should be 0")
+	}
+}
+
+// TestRunChunksCoversAllItems asserts every item is visited exactly once at
+// any worker count, and that small inputs still split across workers.
+func TestRunChunksCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		for _, n := range []int{0, 1, 7, 100, DefaultShardSize + 5} {
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			chunks := 0
+			RunChunks(workers, n, func(lo, hi int) {
+				mu.Lock()
+				chunks++
+				mu.Unlock()
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: item %d visited %d times", workers, n, i, h)
+				}
+			}
+			if n >= workers*4 && chunks < workers {
+				t.Fatalf("workers=%d n=%d: only %d chunks — cannot keep all workers busy", workers, n, chunks)
+			}
+		}
 	}
 }

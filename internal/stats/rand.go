@@ -70,7 +70,7 @@ func (r *RNG) Seed() int64 { return r.seed }
 // get their own stream and remain reproducible regardless of how many samples
 // the other subsystems draw.
 func (r *RNG) Fork(label string) *RNG {
-	return NewRNG(r.seed ^ fnv1a(label))
+	return NewRNG(DeriveSeed(r.seed, label))
 }
 
 // SplitStream derives a child RNG keyed by an arbitrary string (a file path,
@@ -83,7 +83,7 @@ func (r *RNG) Fork(label string) *RNG {
 // derive their streams from stable keys, making the image independent of
 // worker scheduling.
 func (r *RNG) SplitStream(key string) *RNG {
-	return NewRNG(int64(splitmix64(uint64(r.seed) ^ uint64(fnv1a(key)))))
+	return NewRNG(DeriveSeedKey(r.seed, key))
 }
 
 // SplitN derives the i-th child stream of this RNG. Like SplitStream it is a
@@ -92,7 +92,7 @@ func (r *RNG) SplitStream(key string) *RNG {
 // allocation-free variant used on hot sharded paths (per-shard metadata
 // assignment, per-file content generation).
 func (r *RNG) SplitN(i uint64) *RNG {
-	return NewRNG(int64(splitmix64(uint64(r.seed) ^ splitmix64(i+0x632be59bd9b4e019))))
+	return NewRNG(DeriveSeedIndex(r.seed, i))
 }
 
 // UniformAt returns one uniform value in [0,1) from the i-th child stream of
@@ -102,7 +102,7 @@ func (r *RNG) SplitN(i uint64) *RNG {
 // allocation-free primitive for hot paths that need exactly one draw per
 // index (the parallel namespace skeleton's per-directory parent choice).
 func (r *RNG) UniformAt(i uint64) float64 {
-	v := splitmix64(splitmix64(uint64(r.seed) ^ splitmix64(i+0x632be59bd9b4e019)))
+	v := splitmix64(uint64(DeriveSeedIndex(r.seed, i)))
 	return float64(v>>11) / (1 << 53)
 }
 

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStreamKeyGoldenValues freezes the stream-derivation wire contract.
+// These constants were computed once and must never change: plan files
+// produced by one build are executed by workers running another, and both
+// must derive identical RNG streams. If this test fails, you changed the
+// derivation math — revert, or version the plan format.
+func TestStreamKeyGoldenValues(t *testing.T) {
+	cases := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"DeriveSeed(12345, materialize)", DeriveSeed(12345, "materialize"), -6244051659929340579},
+		{"DeriveSeedKey(12345, shard-7)", DeriveSeedKey(12345, "shard-7"), -1545897767454643603},
+		{"DeriveSeedIndex(12345, 42)", DeriveSeedIndex(12345, 42), -7150689837974186015},
+		{"chain fork:materialize/idx:42", StreamKey{ForkStep("materialize"), IndexStep(42)}.Apply(12345), 1470868729863677072},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (wire contract broken!)", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestStreamKeyMatchesRNGMethods asserts that applying a StreamKey is
+// exactly equivalent to the corresponding chain of RNG method calls, for
+// every step kind.
+func TestStreamKeyMatchesRNGMethods(t *testing.T) {
+	const seed = 987654321
+	root := NewRNG(seed)
+
+	viaMethods := root.Fork("materialize").SplitN(17).SplitStream("x/y:z")
+	key := StreamKey{ForkStep("materialize"), IndexStep(17), KeyStep("x/y:z")}
+	if got, want := key.Apply(seed), viaMethods.Seed(); got != want {
+		t.Fatalf("StreamKey.Apply = %d, want %d (RNG method chain)", got, want)
+	}
+	// The derived RNG must produce the same draws.
+	a, b := key.RNG(seed), viaMethods
+	for i := 0; i < 16; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d differs: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+// TestStreamKeyRoundTrip checks String/ParseStreamKey round-trips,
+// including labels containing the structural characters.
+func TestStreamKeyRoundTrip(t *testing.T) {
+	keys := []StreamKey{
+		nil,
+		{ForkStep("materialize")},
+		{ForkStep("placement/depth"), IndexStep(3)},
+		{KeyStep("a:b/c%d"), IndexStep(0), ForkStep("")},
+		{IndexStep(18446744073709551615)},
+	}
+	for _, k := range keys {
+		s := k.String()
+		parsed, err := ParseStreamKey(s)
+		if err != nil {
+			t.Fatalf("ParseStreamKey(%q): %v", s, err)
+		}
+		if len(parsed) == 0 && len(k) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(parsed, k) {
+			t.Fatalf("round-trip %q: got %#v want %#v", s, parsed, k)
+		}
+		if parsed.Apply(55) != k.Apply(55) {
+			t.Fatalf("round-trip %q: derived seeds differ", s)
+		}
+	}
+}
+
+func TestStreamKeyParseErrors(t *testing.T) {
+	for _, bad := range []string{"fork", "idx:notanumber", "weird:x", "fork:a%2", "fork:a%zz", "idx:-1"} {
+		if _, err := ParseStreamKey(bad); err == nil {
+			t.Errorf("ParseStreamKey(%q) should fail", bad)
+		}
+	}
+}
+
+// TestUniformAtMatchesSplitN pins UniformAt to SplitN's first draw path:
+// both must read the same derived stream.
+func TestUniformAtMatchesSplitN(t *testing.T) {
+	r := NewRNG(42)
+	for i := uint64(0); i < 64; i++ {
+		if got, want := r.UniformAt(i), r.SplitN(i).Float64(); got != want {
+			t.Fatalf("UniformAt(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
