@@ -7,7 +7,7 @@ MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|File
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check
+.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,30 @@ dist-check:
 	./impressions merge -plan plan.json -print-digest manifest-*.json > merged.digest; \
 	cmp single.digest merged.digest; diff -r single merged; \
 	echo "dist-check: OK (digests and trees identical)"
+
+# Local mirror of the CI fault-injection step: plan → 4 workers, one killed
+# mid-write (its manifest discarded so the outcome is timing-independent) →
+# `merge -partial` names the outstanding shard and its re-run command →
+# resuming exactly as instructed → digest and tree byte-identical to the
+# single-process run.
+dist-fault-check:
+	@rm -rf /tmp/impressions-fault-check && mkdir -p /tmp/impressions-fault-check/work
+	$(GO) build -o /tmp/impressions-fault-check/impressions ./cmd/impressions
+	@set -e; cd /tmp/impressions-fault-check; \
+	./impressions -files 3000 -dirs 600 -size-mu 8 -size-sigma 1.2 -seed 20090225 -digest -out single | grep '^image digest:' > single.digest; \
+	./impressions plan -files 3000 -dirs 600 -size-mu 8 -size-sigma 1.2 -seed 20090225 -shards 4 -plan work/plan.json; \
+	pids=""; for s in 0 1 2; do ./impressions worker -plan work/plan.json -shard $$s -out merged -manifest work/manifest-$$s.json & pids="$$pids $$!"; done; \
+	./impressions worker -plan work/plan.json -shard 3 -out merged -manifest work/manifest-3.json & victim=$$!; \
+	sleep 0.2; kill -9 $$victim 2>/dev/null || true; \
+	for p in $$pids; do wait "$$p"; done; wait $$victim || true; \
+	rm -f work/manifest-3.json; \
+	./impressions merge -partial -plan work/plan.json -out merged work/manifest-*.json > partial.out; \
+	grep -q 'shard 3: missing' partial.out; \
+	grep -q 'worker -plan work/plan.json -shard 3 -out merged -manifest work/manifest-3.json' partial.out; \
+	./impressions worker -plan work/plan.json -shard 3 -out merged -manifest work/manifest-3.json; \
+	./impressions merge -plan work/plan.json -print-digest work/manifest-*.json > merged.digest; \
+	cmp single.digest merged.digest; diff -r single merged; \
+	echo "dist-fault-check: OK (killed worker resumed; digest and tree identical)"
 
 lint:
 	$(GO) vet ./...

@@ -150,6 +150,10 @@ func Compare(oldPath, newPath string, thresholdPct float64, w io.Writer) error {
 		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s | %s |\n",
 			e.Name, formatNs(prev.NsPerOp), formatNs(e.NsPerOp), deltaPct, marker, formatMB(prev.MBPerS), formatMB(e.MBPerS))
 	}
+	// Benchmarks that vanished from the current report get explicit rows in
+	// the table itself: a deleted or renamed benchmark is lost perf
+	// coverage, and a delta table that silently drops the row makes the
+	// loss invisible exactly where reviewers look.
 	var removed []string
 	newNames := make(map[string]bool, len(newRep.Benchmarks))
 	for _, e := range newRep.Benchmarks {
@@ -161,8 +165,13 @@ func Compare(oldPath, newPath string, thresholdPct float64, w io.Writer) error {
 		}
 	}
 	sort.Strings(removed)
+	for _, name := range removed {
+		prev := oldBy[name]
+		fmt.Fprintf(w, "| %s | %s | — | removed ⚠️ | %s | — |\n", name, formatNs(prev.NsPerOp), formatMB(prev.MBPerS))
+	}
 	if len(removed) > 0 {
-		fmt.Fprintf(w, "\nNo longer present: %s.\n", strings.Join(removed, ", "))
+		fmt.Fprintf(w, "\n⚠️ **%d benchmark(s) removed since the previous report:** %s. Perf coverage shrank — deliberate renames should update the tracked set.\n",
+			len(removed), strings.Join(removed, ", "))
 	}
 	if len(regressions) > 0 {
 		sort.Strings(regressions)

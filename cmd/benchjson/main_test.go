@@ -119,12 +119,31 @@ func TestCompareEmitsDeltaTable(t *testing.T) {
 		"| BenchmarkFast | 100 | 90 | -10.0% | 50.00 | 55.00 |",
 		"| BenchmarkSlow | 1000 | 1500 | +50.0% ⚠️ |",
 		"| BenchmarkFresh | — | 3 | new |",
-		"No longer present: BenchmarkGone.",
+		// A vanished benchmark must surface as an explicit table row, not
+		// just a footnote — lost perf coverage has to be visible in the
+		// table reviewers scan.
+		"| BenchmarkGone | 7 | — | removed ⚠️ | — | — |",
+		"1 benchmark(s) removed since the previous report:** BenchmarkGone",
 		"1 benchmark(s) regressed >25%",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCompareNoRemovals: the removal warning only appears when coverage
+// actually shrank.
+func TestCompareNoRemovals(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Entry{{Name: "BenchmarkA", NsPerOp: 100}})
+	newPath := writeReport(t, dir, "new.json", []Entry{{Name: "BenchmarkA", NsPerOp: 100}, {Name: "BenchmarkB", NsPerOp: 5}})
+	var buf strings.Builder
+	if err := Compare(oldPath, newPath, 25, &buf); err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if strings.Contains(buf.String(), "removed") {
+		t.Errorf("no benchmarks were removed, but the report says otherwise:\n%s", buf.String())
 	}
 }
 

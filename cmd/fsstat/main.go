@@ -37,6 +37,7 @@ type jsonReport struct {
 	TotalBytes   int64              `json:"total_bytes"`
 	MeanFileSize float64            `json:"mean_file_size"`
 	MaxFileDepth int                `json:"max_file_depth"`
+	Irregular    int                `json:"irregular_entries_skipped"`
 	FilesBySize  map[string]float64 `json:"files_by_size"`
 	BytesBySize  map[string]float64 `json:"bytes_by_size"`
 	FilesByDepth []float64          `json:"files_by_depth"`
@@ -55,24 +56,26 @@ func run(args []string) error {
 		return fmt.Errorf("usage: fsstat [-json] [-top N] <directory>")
 	}
 	root := fs.Arg(0)
-	img, err := fsimage.Scan(root)
+	res, err := fsimage.ScanTree(root)
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
-		return writeJSON(os.Stdout, img, *topN)
+		return writeJSON(os.Stdout, res, *topN)
 	}
-	writeText(os.Stdout, img, *topN)
+	writeText(os.Stdout, res, *topN)
 	return nil
 }
 
-func writeJSON(w *os.File, img *fsimage.Image, topN int) error {
+func writeJSON(w *os.File, res *fsimage.ScanResult, topN int) error {
+	img := res.Image
 	rep := jsonReport{
 		Files:        img.FileCount(),
 		Dirs:         img.DirCount(),
 		TotalBytes:   img.TotalBytes(),
 		MeanFileSize: img.MeanFileSize(),
 		MaxFileDepth: img.MaxFileDepth(),
+		Irregular:    res.Irregular,
 		FilesBySize:  map[string]float64{},
 		BytesBySize:  map[string]float64{},
 		Extensions:   map[string]float64{},
@@ -99,9 +102,13 @@ func writeJSON(w *os.File, img *fsimage.Image, topN int) error {
 	return enc.Encode(&rep)
 }
 
-func writeText(w *os.File, img *fsimage.Image, topN int) {
+func writeText(w *os.File, res *fsimage.ScanResult, topN int) {
+	img := res.Image
 	fmt.Fprintln(w, img.Summary())
 	fmt.Fprintf(w, "mean file size: %s\n", stats.FormatBytes(img.MeanFileSize()))
+	if res.Irregular > 0 {
+		fmt.Fprintf(w, "skipped %d irregular entries (symlinks, devices, FIFOs) — not counted as files\n", res.Irregular)
+	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "\nfiles by size (power-of-two bins):")

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -37,6 +40,64 @@ func TestRunJSON(t *testing.T) {
 	root := buildTree(t)
 	if err := run([]string{"-json", "-top", "5", root}); err != nil {
 		t.Fatalf("fsstat json: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	orig := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// TestRunSkipsSymlinks: symlinked entries must not be counted as files (an
+// lstat size would skew the histograms) but their omission must be visible
+// in both output modes.
+func TestRunSkipsSymlinks(t *testing.T) {
+	root := buildTree(t)
+	if err := os.Symlink(filepath.Join(root, "top.txt"), filepath.Join(root, "a", "link.txt")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if err := os.Symlink(filepath.Join(root, "a"), filepath.Join(root, "dirlink")); err != nil {
+		t.Fatal(err)
+	}
+
+	text := captureStdout(t, func() error { return run([]string{root}) })
+	if !strings.Contains(text, "image: 3 files") {
+		t.Errorf("text report should count 3 regular files:\n%s", text)
+	}
+	if !strings.Contains(text, "skipped 2 irregular entries") {
+		t.Errorf("text report should surface the skipped symlinks:\n%s", text)
+	}
+
+	jsonOut := captureStdout(t, func() error { return run([]string{"-json", root}) })
+	var rep struct {
+		Files     int `json:"files"`
+		Irregular int `json:"irregular_entries_skipped"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("parsing JSON report: %v\n%s", err, jsonOut)
+	}
+	if rep.Files != 3 || rep.Irregular != 2 {
+		t.Errorf("JSON report: files=%d irregular=%d, want 3 and 2", rep.Files, rep.Irregular)
 	}
 }
 

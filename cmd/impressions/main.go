@@ -25,17 +25,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"impressions/internal/content"
 	"impressions/internal/core"
@@ -304,7 +308,7 @@ func runPlan(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := distribute.BuildPlan(cfg, *shardsFlag)
+	plan, err := distribute.BuildPlan(cfg, *shardsFlag, 0)
 	if err != nil {
 		return err
 	}
@@ -355,7 +359,10 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 }
 
 // runMerge verifies shard manifests against the plan and emits the merged
-// image, report, and canonical digest.
+// image, report, and canonical digest. With -partial it instead audits a
+// possibly incomplete manifest set and reports exactly which shards are
+// outstanding — with the worker command line to re-run each — so a failed
+// distributed run can be resumed instead of restarted.
 func runMerge(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("impressions merge", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -364,6 +371,8 @@ func runMerge(args []string, stdout, stderr io.Writer) error {
 		imageFlag   = fs.String("image", "", "write the merged image metadata (JSON) to this file")
 		reportFlag  = fs.String("report", "", "write the merged JSON reproducibility report to this file")
 		printDigest = fs.Bool("print-digest", false, "print only the canonical image digest line")
+		partialFlag = fs.Bool("partial", false, "accept an incomplete manifest set: report outstanding shards (with re-run commands) instead of failing; merges normally when the set turns out to be complete")
+		outHint     = fs.String("out", "", "output root used in the re-run commands -partial prints (display only)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -371,8 +380,8 @@ func runMerge(args []string, stdout, stderr io.Writer) error {
 	if *planFlag == "" {
 		return usagef("merge: -plan <file> is required")
 	}
-	if fs.NArg() == 0 {
-		return usagef("merge: at least one shard manifest file is required")
+	if fs.NArg() == 0 && !*partialFlag {
+		return usagef("merge: at least one shard manifest file is required (or -partial to audit an empty set)")
 	}
 	open, err := distribute.LoadPlan(*planFlag)
 	if err != nil {
@@ -382,12 +391,31 @@ func runMerge(args []string, stdout, stderr io.Writer) error {
 	for _, path := range fs.Args() {
 		m, err := distribute.LoadManifest(path)
 		if err != nil {
-			return err
+			if !*partialFlag {
+				return err
+			}
+			// In partial mode an unreadable manifest (truncated upload, crash
+			// mid-write) is triage input, not a fatal error: its shard simply
+			// stays outstanding.
+			fmt.Fprintf(stderr, "impressions: merge: skipping unreadable manifest %s: %v\n", path, err)
+			continue
 		}
 		manifests = append(manifests, m)
 	}
-	res, err := distribute.Merge(open, manifests)
-	if err != nil {
+	var res *distribute.MergeResult
+	if *partialFlag {
+		audit, err := distribute.AuditManifests(open, manifests)
+		if err != nil {
+			return err
+		}
+		if !audit.Complete() {
+			printMergeAudit(stdout, audit, open, *planFlag, *outHint, fs.Args())
+			return nil
+		}
+		if res, err = distribute.MergeAudited(open, audit); err != nil {
+			return err
+		}
+	} else if res, err = distribute.Merge(open, manifests); err != nil {
 		return err
 	}
 	if !*printDigest {
@@ -415,6 +443,45 @@ func runMerge(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// printMergeAudit renders an incomplete audit as a triage report: one line
+// per outstanding shard, each with the exact worker command that produces
+// the missing manifest. outHint fills the -out argument when known;
+// manifestPaths (the files the caller presented) anchor where the re-run's
+// manifest should land, falling back to the plan's directory.
+func printMergeAudit(w io.Writer, audit *distribute.Audit, open *distribute.OpenPlan, planPath, outHint string, manifestPaths []string) {
+	fmt.Fprintf(w, "merge: %d of %d shards verified (plan fingerprint %s)\n",
+		audit.Verified(), len(audit.Statuses), open.Plan.Fingerprint()[:12])
+	if outHint == "" {
+		outHint = "<out>"
+	}
+	// Re-run manifests belong next to the manifests the operator already
+	// has (so the same glob picks them up on the next merge), not
+	// necessarily next to the plan file.
+	manifestDir := filepath.Dir(planPath)
+	if len(manifestPaths) > 0 {
+		manifestDir = filepath.Dir(manifestPaths[0])
+	}
+	// A metadata-only run's outstanding shards must be re-run metadata-only,
+	// or the regenerated manifest will be rejected for mixing run modes.
+	mode := ""
+	if audit.Verified() > 0 && !audit.ContentHashed {
+		mode = " -metadata-only"
+	}
+	for _, st := range audit.Statuses {
+		if st.State == distribute.ShardVerified {
+			continue
+		}
+		reason := st.State.String()
+		if st.Err != nil {
+			reason = fmt.Sprintf("%s (%v)", reason, st.Err)
+		}
+		fmt.Fprintf(w, "  shard %d: %s\n", st.Shard, reason)
+		fmt.Fprintf(w, "    re-run: impressions worker -plan %s -shard %d -out %s -manifest %s%s\n",
+			planPath, st.Shard, outHint, filepath.Join(manifestDir, fmt.Sprintf("manifest-%d.json", st.Shard)), mode)
+	}
+	fmt.Fprintf(w, "merge: image incomplete — run the outstanding workers, then merge again\n")
+}
+
 // workerCommand builds the *exec.Cmd that distrun spawns for one shard. It
 // is a variable so tests can reroute it through the test binary's helper
 // process; the default re-executes this binary's worker subcommand.
@@ -440,11 +507,245 @@ func workerArgs(planPath string, shard int, outRoot, manifestPath string, metada
 	return args
 }
 
+// distrunSupervisor drives one distributed run's worker fleet: one
+// goroutine per outstanding shard, each retrying its worker process up to
+// retries times under an optional per-attempt deadline. Every attempt
+// materializes into a private staging directory and writes its manifest to
+// a staging path; only a verified attempt is promoted (files renamed into
+// the shared out root, then the manifest renamed to its final path — the
+// atomic commit point), so a killed, failed, or timed-out attempt never
+// leaks partial output into the image or a half-written manifest into the
+// work directory. The first unrecoverable shard failure cancels the shared
+// context, which kills every sibling worker process promptly instead of
+// waiting for them to finish.
+type distrunSupervisor struct {
+	open         *distribute.OpenPlan
+	planPath     string
+	workDir      string
+	outRoot      string
+	stageRoot    string
+	metadataOnly bool
+	jobs         int
+	retries      int
+	shardTimeout time.Duration
+
+	cancel context.CancelFunc
+	mu     sync.Mutex // guards stdout/stderr writes and rootErr
+	stdout io.Writer
+	stderr io.Writer
+	// rootErr is the failure that triggered cancellation — the error worth
+	// reporting, as opposed to the "canceled" errors of killed siblings.
+	rootErr error
+}
+
+func (d *distrunSupervisor) logf(format string, a ...any) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fmt.Fprintf(d.stdout, format, a...)
+}
+
+// fail records the run's root-cause failure once and cancels every sibling.
+func (d *distrunSupervisor) fail(err error) {
+	d.mu.Lock()
+	if d.rootErr == nil {
+		d.rootErr = err
+	}
+	d.mu.Unlock()
+	d.cancel()
+}
+
+func (d *distrunSupervisor) manifestPath(shard int) string {
+	return filepath.Join(d.workDir, fmt.Sprintf("manifest-%d.json", shard))
+}
+
+// verifyShardOnDisk confirms the out root actually holds everything a
+// resumable shard's manifest claims: every directory (including file-less
+// ones — the byte-identical-tree contract covers empty dirs too) and every
+// file, present and exactly the planned size. It is a stat pass (no
+// re-hashing), which is what protects a resume against a wrong or cleaned
+// -out without re-paying content generation; cross-mode content mismatches
+// are rejected earlier by the manifest's ContentHashed check.
+func verifyShardOnDisk(open *distribute.OpenPlan, shard int, outRoot string) error {
+	for _, id := range open.Part.Shards[shard] {
+		if id == 0 {
+			continue // the image root is created unconditionally
+		}
+		p := filepath.Join(outRoot, filepath.FromSlash(open.Image.Tree.Path(id)))
+		info, err := os.Stat(p)
+		if err != nil {
+			return fmt.Errorf("its output is not in %s (%w)", outRoot, err)
+		}
+		if !info.IsDir() {
+			return fmt.Errorf("%s is not a directory", p)
+		}
+	}
+	for _, i := range open.FilesByShard[shard] {
+		f := open.Image.Files[i]
+		p := filepath.Join(outRoot, filepath.FromSlash(open.Image.FilePath(f)))
+		info, err := os.Stat(p)
+		if err != nil {
+			return fmt.Errorf("its output is not in %s (%w)", outRoot, err)
+		}
+		if !info.Mode().IsRegular() || info.Size() != f.Size {
+			return fmt.Errorf("%s has %d bytes, plan says %d", p, info.Size(), f.Size)
+		}
+	}
+	return nil
+}
+
+// runShard supervises one shard to completion or unrecoverable failure.
+func (d *distrunSupervisor) runShard(ctx context.Context, shard int) error {
+	var lastErr error
+	for attempt := 0; attempt <= d.retries; attempt++ {
+		if ctx.Err() != nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("distrun: shard %d canceled after a sibling's failure", shard)
+			}
+			return lastErr
+		}
+		err := d.runAttempt(ctx, shard, attempt)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The attempt died because the run is being torn down; its error
+			// is noise, not a reason to retry.
+			return lastErr
+		}
+		if attempt < d.retries {
+			d.logf("distrun: shard %d attempt %d failed (%v); retrying\n", shard, attempt+1, err)
+		}
+	}
+	d.fail(fmt.Errorf("distrun: shard %d failed %d attempt(s), giving up: %w", shard, d.retries+1, lastErr))
+	return lastErr
+}
+
+// runAttempt executes one worker process into a fresh staging area and, on
+// success, promotes its output and manifest.
+func (d *distrunSupervisor) runAttempt(ctx context.Context, shard, attempt int) (err error) {
+	stage := filepath.Join(d.stageRoot, fmt.Sprintf("shard-%d-attempt-%d", shard, attempt))
+	stageManifest := d.manifestPath(shard) + fmt.Sprintf(".attempt-%d", attempt)
+	defer func() {
+		if err != nil {
+			// Never leave a failed attempt's partial output or manifest
+			// behind where a retry or resume could mistake it for done work.
+			os.RemoveAll(stage)
+			os.Remove(stageManifest)
+		}
+	}()
+
+	attemptCtx := ctx
+	if d.shardTimeout > 0 {
+		var cancelAttempt context.CancelFunc
+		attemptCtx, cancelAttempt = context.WithTimeout(ctx, d.shardTimeout)
+		defer cancelAttempt()
+	}
+	cmd, err := workerCommand(d.planPath, shard, stage, stageManifest, d.metadataOnly, d.jobs)
+	if err != nil {
+		return err
+	}
+	var errBuf bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &errBuf
+	defer func() {
+		if errBuf.Len() > 0 {
+			d.mu.Lock()
+			fmt.Fprintf(d.stderr, "--- worker %d (attempt %d) stderr ---\n%s", shard, attempt+1, errBuf.String())
+			d.mu.Unlock()
+		}
+	}()
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("distrun: starting worker %d: %w", shard, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case werr := <-done:
+		if werr != nil {
+			return fmt.Errorf("distrun: worker %d: %w", shard, werr)
+		}
+	case <-attemptCtx.Done():
+		// Kill the wedged (or no-longer-wanted) process and reap it before
+		// touching its staging area.
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		<-done
+		if ctx.Err() != nil {
+			return fmt.Errorf("distrun: worker %d killed: %w", shard, ctx.Err())
+		}
+		return fmt.Errorf("distrun: worker %d timed out after %s (attempt %d)", shard, d.shardTimeout, attempt+1)
+	}
+
+	// Trust nothing about the attempt until its manifest verifies against
+	// the plan: a worker that exited 0 with a truncated or foreign manifest
+	// is a failure, not a success.
+	m, err := distribute.LoadManifest(stageManifest)
+	if err != nil {
+		return fmt.Errorf("distrun: worker %d produced no usable manifest: %w", shard, err)
+	}
+	if m.Shard != shard {
+		return fmt.Errorf("distrun: worker %d produced a manifest for shard %d", shard, m.Shard)
+	}
+	if err := distribute.VerifyManifest(d.open, m); err != nil {
+		return fmt.Errorf("distrun: worker %d manifest failed verification: %w", shard, err)
+	}
+	if err := promoteStage(stage, d.outRoot); err != nil {
+		return fmt.Errorf("distrun: promoting shard %d output: %w", shard, err)
+	}
+	os.RemoveAll(stage)
+	// The manifest rename is the commit point: a sealed manifest at its
+	// final path means — and only ever means — promoted, verified output.
+	if err := os.Rename(stageManifest, d.manifestPath(shard)); err != nil {
+		return fmt.Errorf("distrun: committing shard %d manifest: %w", shard, err)
+	}
+	return nil
+}
+
+// promoteStage merges one staged shard attempt into the final output root:
+// directories are (re)created, files are renamed into place. Renames are
+// atomic and every shard's file set is disjoint, so promotions never
+// collide; re-promoting after a crash simply overwrites. The stage lives
+// under the out root, so source and target share a filesystem and rename
+// never degrades to a copy.
+func promoteStage(stage, outRoot string) error {
+	return filepath.WalkDir(stage, func(path string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(stage, path)
+		if rerr != nil {
+			return rerr
+		}
+		if rel == "." {
+			return nil
+		}
+		target := filepath.Join(outRoot, rel)
+		if d.IsDir() {
+			info, ierr := d.Info()
+			if ierr != nil {
+				return ierr
+			}
+			return os.MkdirAll(target, info.Mode().Perm())
+		}
+		return os.Rename(path, target)
+	})
+}
+
 // runDistrun orchestrates the full pipeline locally: build the plan, launch
-// one worker OS process per shard (all sharing the output root — subtree
-// shards are disjoint), and merge their manifests. It exists as a
-// convenience and as a constantly exercised reference for the multi-machine
-// recipe, where the same worker invocations run on different hosts.
+// one supervised worker OS process per shard (all promoting into the shared
+// output root — subtree shards are disjoint), and merge their manifests. It
+// exists as a convenience and as a constantly exercised reference for the
+// multi-machine recipe, where the same worker invocations run on different
+// hosts.
+//
+// With -work pointing at the directory of an earlier (failed) run, distrun
+// resumes it: shards whose sealed manifests still verify against the plan
+// fingerprint are skipped, stale manifests — from an older plan, a
+// different seed, or a truncated write — are deleted and their shards
+// regenerated. A manifest is never taken at face value: only fingerprint-
+// bound, self-hash-verified manifests count as done work.
 func runDistrun(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("impressions distrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -452,15 +753,23 @@ func runDistrun(args []string, stdout, stderr io.Writer) error {
 	var (
 		shardsFlag   = fs.Int("shards", 4, "number of shards / local worker processes")
 		outFlag      = fs.String("out", "", "directory to materialize the image into (required)")
-		workFlag     = fs.String("work", "", "directory for the plan and manifests (default: a temp dir, removed afterwards)")
+		workFlag     = fs.String("work", "", "directory for the plan and manifests; reuse it to resume a failed run (default: a temp dir, removed afterwards)")
 		metadataOnly = fs.Bool("metadata-only", false, "create files with correct sizes but no content")
 		reportFlag   = fs.String("report", "", "write the merged JSON reproducibility report to this file")
+		retriesFlag  = fs.Int("retries", 1, "times to retry a failed or timed-out worker before giving up")
+		timeoutFlag  = fs.Duration("shard-timeout", 0, "per-attempt deadline for one worker process (0 = none)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *outFlag == "" {
 		return usagef("distrun: -out <dir> is required")
+	}
+	if *retriesFlag < 0 {
+		return usagef("distrun: -retries must be >= 0")
+	}
+	if *timeoutFlag < 0 {
+		return usagef("distrun: -shard-timeout must be >= 0")
 	}
 	if *gen.layout != 1.0 {
 		return usagef("distrun: -layout is not supported in distributed runs (disk-layout simulation is a single-node feature)")
@@ -482,68 +791,138 @@ func runDistrun(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	plan, err := distribute.BuildPlan(cfg, *shardsFlag)
+	plan, err := distribute.BuildPlan(cfg, *shardsFlag, 0)
 	if err != nil {
 		return err
 	}
-	planPath := filepath.Join(workDir, "plan.json")
-	if err := writeJSONFile(planPath, plan.Encode); err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "distrun: plan has %d shards; launching %d worker processes\n", len(plan.Shards), len(plan.Shards))
-
-	// Launch one OS process per shard; all materialize into the shared out
-	// root (shards own disjoint subtrees, so they never touch the same path).
-	type workerResult struct {
-		shard int
-		err   error
-	}
-	results := make(chan workerResult, len(plan.Shards))
-	manifestPaths := make([]string, len(plan.Shards))
-	workerStderr := make([]bytes.Buffer, len(plan.Shards))
-	for s := range plan.Shards {
-		manifestPaths[s] = filepath.Join(workDir, fmt.Sprintf("manifest-%d.json", s))
-		cmd, err := workerCommand(planPath, s, *outFlag, manifestPaths[s], *metadataOnly, *gen.jobs)
-		if err != nil {
-			return err
-		}
-		// Each worker's stderr goes to its own buffer (replayed after the
-		// wait): concurrent workers writing one shared writer would race
-		// and interleave.
-		cmd.Stdout = io.Discard
-		cmd.Stderr = &workerStderr[s]
-		go func(s int, cmd *exec.Cmd) {
-			if err := cmd.Run(); err != nil {
-				results <- workerResult{s, fmt.Errorf("distrun: worker %d: %w", s, err)}
-				return
-			}
-			results <- workerResult{s, nil}
-		}(s, cmd)
-	}
-	var firstErr error
-	for range plan.Shards {
-		if r := <-results; r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-	}
-	for s := range workerStderr {
-		if workerStderr[s].Len() > 0 {
-			fmt.Fprintf(stderr, "--- worker %d stderr ---\n%s", s, workerStderr[s].String())
-		}
-	}
-	if firstErr != nil {
-		return firstErr
-	}
-
-	// The plan is already in memory; Open validates and unpacks it without
-	// re-reading the file the workers used.
 	open, err := plan.Open()
 	if err != nil {
 		return err
 	}
-	manifests := make([]*distribute.Manifest, len(manifestPaths))
-	for i, p := range manifestPaths {
-		if manifests[i], err = distribute.LoadManifest(p); err != nil {
+	// The plan is deterministic from the flags, so rewriting it on resume is
+	// idempotent; if the work dir held a plan from different flags, the
+	// fingerprint check below retires its manifests as stale.
+	planPath := filepath.Join(workDir, "plan.json")
+	if err := writeJSONFile(planPath, plan.Encode); err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		return err
+	}
+	stageRoot := filepath.Join(*outFlag, ".impressions-stage")
+	// Leftover staging from a crashed run is garbage by definition: resume
+	// state lives solely in committed manifests. That includes attempt-
+	// staged manifests in the work dir — a hard-killed supervisor can leave
+	// manifest-N.json.attempt-K files behind.
+	if err := os.RemoveAll(stageRoot); err != nil {
+		return err
+	}
+	defer os.RemoveAll(stageRoot)
+	if staged, err := filepath.Glob(filepath.Join(workDir, "manifest-*.json.attempt-*")); err == nil {
+		for _, p := range staged {
+			os.Remove(p)
+		}
+	}
+
+	// Resume pass: a shard is done iff its committed manifest verifies
+	// against this exact plan. Anything else — unreadable, truncated,
+	// unsealed, or fingerprint-mismatched — is deleted so it can never mask
+	// a worker failure at merge time.
+	done := make([]bool, len(plan.Shards))
+	resumed := 0
+	for s := range plan.Shards {
+		mPath := filepath.Join(workDir, fmt.Sprintf("manifest-%d.json", s))
+		m, err := distribute.LoadManifest(mPath)
+		if err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				fmt.Fprintf(stderr, "distrun: shard %d: discarding unreadable manifest %s (%v); regenerating\n", s, mPath, err)
+				os.Remove(mPath)
+			}
+			continue
+		}
+		if m.Shard != s {
+			fmt.Fprintf(stderr, "distrun: shard %d: manifest %s claims shard %d; discarding and regenerating\n", s, mPath, m.Shard)
+			os.Remove(mPath)
+			continue
+		}
+		// A manifest from the other content mode is done work for a run the
+		// user is no longer asking for: resuming a -metadata-only run with
+		// full content (or vice versa) must regenerate the shard.
+		if m.ContentHashed == *metadataOnly {
+			fmt.Fprintf(stderr, "distrun: shard %d: manifest is from a %s run, this run wants %s; regenerating\n",
+				s, distribute.ContentModeName(m.ContentHashed), distribute.ContentModeName(!*metadataOnly))
+			os.Remove(mPath)
+			continue
+		}
+		if err := distribute.VerifyManifest(open, m); err != nil {
+			fmt.Fprintf(stderr, "distrun: shard %d: stale manifest (%v); regenerating\n", s, err)
+			os.Remove(mPath)
+			continue
+		}
+		// A manifest proves the shard was generated, not that THIS out root
+		// still holds it: resuming against a different or cleaned -out with
+		// only manifest checks would report success over a hole in the
+		// image. Stat every file the shard owns before trusting the skip.
+		if err := verifyShardOnDisk(open, s, *outFlag); err != nil {
+			fmt.Fprintf(stderr, "distrun: shard %d: verified manifest but %v; regenerating\n", s, err)
+			os.Remove(mPath)
+			continue
+		}
+		done[s] = true
+		resumed++
+	}
+	outstanding := len(plan.Shards) - resumed
+	if resumed > 0 {
+		fmt.Fprintf(stdout, "distrun: resuming: %d of %d shards already verified; launching %d worker processes\n",
+			resumed, len(plan.Shards), outstanding)
+	} else {
+		fmt.Fprintf(stdout, "distrun: plan has %d shards; launching %d worker processes\n", len(plan.Shards), outstanding)
+	}
+
+	if outstanding > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		sup := &distrunSupervisor{
+			open:         open,
+			planPath:     planPath,
+			workDir:      workDir,
+			outRoot:      *outFlag,
+			stageRoot:    stageRoot,
+			metadataOnly: *metadataOnly,
+			jobs:         *gen.jobs,
+			retries:      *retriesFlag,
+			shardTimeout: *timeoutFlag,
+			cancel:       cancel,
+			stdout:       stdout,
+			stderr:       stderr,
+		}
+		var wg sync.WaitGroup
+		for s := range plan.Shards {
+			if done[s] {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sup.runShard(ctx, s)
+			}(s)
+		}
+		wg.Wait()
+		if sup.rootErr != nil {
+			if *workFlag != "" {
+				fmt.Fprintf(stderr, "distrun: completed shards keep their sealed manifests under %s; re-run with -work %s to resume\n",
+					workDir, workDir)
+			} else {
+				fmt.Fprintf(stderr, "distrun: pass -work <dir> to keep manifests across runs and make failures resumable\n")
+			}
+			return sup.rootErr
+		}
+	}
+
+	manifests := make([]*distribute.Manifest, len(plan.Shards))
+	for s := range plan.Shards {
+		if manifests[s], err = distribute.LoadManifest(filepath.Join(workDir, fmt.Sprintf("manifest-%d.json", s))); err != nil {
 			return err
 		}
 	}

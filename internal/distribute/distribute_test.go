@@ -44,10 +44,11 @@ func singleProcessReference(t *testing.T, cfg core.Config) (*fsimage.Image, stri
 }
 
 // planRoundTrip builds a plan, encodes it to JSON, decodes and opens it —
-// the exact path a worker on another machine takes.
+// the exact path a worker on another machine takes. The small chunk size
+// forces the metadata stream through many chunks even on test-sized images.
 func planRoundTrip(t *testing.T, cfg core.Config, shards int) *OpenPlan {
 	t.Helper()
-	plan, err := BuildPlan(cfg, shards)
+	plan, err := BuildPlan(cfg, shards, 64)
 	if err != nil {
 		t.Fatalf("BuildPlan(%d): %v", shards, err)
 	}
@@ -235,26 +236,50 @@ func TestMergeRejectsTamperedManifests(t *testing.T) {
 	})
 }
 
-// TestOpenRejectsCorruptPlan covers plan-side integrity: corrupted image
-// bytes, edited totals, and a wrong format version.
+// TestOpenRejectsCorruptPlan covers plan-side integrity: corrupted stream
+// bytes, a truncated chunk stream, edited totals, and a wrong format
+// version.
 func TestOpenRejectsCorruptPlan(t *testing.T) {
-	plan, err := BuildPlan(testConfig(), 2)
+	plan, err := BuildPlan(testConfig(), 2, 64)
 	if err != nil {
 		t.Fatalf("BuildPlan: %v", err)
 	}
-	corrupt := *plan
-	raw := append([]byte(nil), plan.Image...)
-	raw[len(raw)/2] ^= 0xff
-	corrupt.Image = raw
-	if _, err := corrupt.Open(); err == nil {
-		t.Error("Open should reject corrupted image bytes")
+	var buf bytes.Buffer
+	if err := plan.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
 	}
-	edited := *plan
+	encoded := buf.Bytes()
+
+	// Flip one byte inside the chunk stream: either the JSON breaks or a
+	// chunk hash stops matching — both must fail the decode.
+	corrupt := append([]byte(nil), encoded...)
+	corrupt[3*len(corrupt)/4] ^= 0xff
+	if _, err := DecodePlan(bytes.NewReader(corrupt)); err == nil {
+		t.Error("DecodePlan should reject corrupted stream bytes")
+	}
+
+	// Drop the trailing chunks: the chunk count no longer matches.
+	truncated := append([]byte(nil), encoded[:len(encoded)/2]...)
+	if _, err := DecodePlan(bytes.NewReader(truncated)); err == nil {
+		t.Error("DecodePlan should reject a truncated stream")
+	}
+
+	// A v1-style plan (no header envelope) must be refused with a clear
+	// format error rather than a JSON parse failure deep in the stream.
+	if _, err := DecodePlan(strings.NewReader(`{"format_version":1,"seed":1}`)); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Errorf("DecodePlan on a headerless plan: got %v", err)
+	}
+
+	decoded, err := DecodePlan(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatalf("DecodePlan: %v", err)
+	}
+	edited := *decoded
 	edited.Files++
 	if _, err := edited.Open(); err == nil {
 		t.Error("Open should reject edited totals")
 	}
-	future := *plan
+	future := *decoded
 	future.FormatVersion = FormatVersion + 1
 	if _, err := future.Open(); err == nil {
 		t.Error("Open should reject an unknown format version")
@@ -320,7 +345,7 @@ func TestMetadataOnlyDistributedRun(t *testing.T) {
 // TestPlanFingerprintSensitivity asserts the fingerprint changes when any
 // output-determining field changes.
 func TestPlanFingerprintSensitivity(t *testing.T) {
-	plan, err := BuildPlan(testConfig(), 2)
+	plan, err := BuildPlan(testConfig(), 2, 0)
 	if err != nil {
 		t.Fatalf("BuildPlan: %v", err)
 	}

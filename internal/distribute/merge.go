@@ -23,17 +23,152 @@ type MergeResult struct {
 	Bytes int64
 }
 
-// Merge verifies the shard manifests against the plan and stitches them
-// into a single image, report, and canonical digest. It fails loudly on any
-// divergence: a missing, duplicated, or tampered manifest, a manifest from
-// a different plan, or per-shard counts, sizes, or hashes that do not match
-// the plan's expectations.
-func Merge(p *OpenPlan, manifests []*Manifest) (*MergeResult, error) {
-	want := len(p.Plan.Shards)
-	if len(manifests) != want {
-		return nil, fmt.Errorf("distribute: merge needs %d manifests (one per shard), got %d", want, len(manifests))
+// ShardState grades one shard's manifest in an Audit.
+type ShardState int
+
+const (
+	// ShardMissing: no manifest was presented for the shard.
+	ShardMissing ShardState = iota
+	// ShardInvalid: a manifest was presented but failed verification —
+	// unsealed, tampered, truncated, from a different plan (stale), or
+	// contradicting the plan's shard expectations. Its Err says why.
+	ShardInvalid
+	// ShardVerified: the manifest is sealed, bound to this exact plan, and
+	// matches every per-shard expectation.
+	ShardVerified
+)
+
+// String renders the state for reports.
+func (s ShardState) String() string {
+	switch s {
+	case ShardVerified:
+		return "verified"
+	case ShardInvalid:
+		return "invalid"
+	default:
+		return "missing"
 	}
-	byShard := make([]*Manifest, want)
+}
+
+// ShardStatus is one shard's line in an Audit.
+type ShardStatus struct {
+	Shard    int
+	State    ShardState
+	Manifest *Manifest // nil unless State == ShardVerified
+	// Err explains an invalid manifest; nil for missing and verified.
+	Err error
+}
+
+// Audit is the shard-by-shard grading of a (possibly incomplete) manifest
+// set against a plan: the fault-tolerant core that both Merge and the
+// resumable pipeline build on.
+type Audit struct {
+	// Statuses has exactly one entry per plan shard, in shard order.
+	Statuses []ShardStatus
+	// ContentHashed reports whether the verified manifests carry content
+	// hashes (false for metadata-only runs; meaningless with none verified).
+	ContentHashed bool
+}
+
+// Complete reports whether every shard verified.
+func (a *Audit) Complete() bool {
+	for _, st := range a.Statuses {
+		if st.State != ShardVerified {
+			return false
+		}
+	}
+	return true
+}
+
+// Outstanding lists the shards that still need a (re-)run: everything not
+// verified, in shard order.
+func (a *Audit) Outstanding() []int {
+	var out []int
+	for _, st := range a.Statuses {
+		if st.State != ShardVerified {
+			out = append(out, st.Shard)
+		}
+	}
+	return out
+}
+
+// Verified counts the shards whose manifests verified.
+func (a *Audit) Verified() int {
+	n := 0
+	for _, st := range a.Statuses {
+		if st.State == ShardVerified {
+			n++
+		}
+	}
+	return n
+}
+
+// verifyShardManifest checks one manifest against the plan's expectations
+// for shard s: format version, plan fingerprint, seal, counts, per-file
+// assignments and sizes, and hash presence. It is the single source of
+// truth Merge, Audit, and the distrun resume path all share.
+func verifyShardManifest(p *OpenPlan, fingerprint string, s int, m *Manifest) error {
+	if m.FormatVersion != FormatVersion {
+		return fmt.Errorf("distribute: shard %d manifest format v%d, this build speaks v%d", s, m.FormatVersion, FormatVersion)
+	}
+	if m.PlanFingerprint != fingerprint {
+		return fmt.Errorf("distribute: shard %d manifest was produced for a different plan (fingerprint %s, this plan is %s)",
+			s, m.PlanFingerprint, fingerprint)
+	}
+	if err := m.VerifySelf(); err != nil {
+		return err
+	}
+	sp := p.Plan.Shards[s]
+	if m.Dirs != sp.Dirs || m.Files != sp.Files || m.Bytes != sp.Bytes {
+		return fmt.Errorf("distribute: shard %d wrote %d dirs, %d files, %d bytes; plan expects %d, %d, %d",
+			s, m.Dirs, m.Files, m.Bytes, sp.Dirs, sp.Files, sp.Bytes)
+	}
+	expect := p.FilesByShard[s]
+	if len(m.FileDigests) != len(expect) {
+		return fmt.Errorf("distribute: shard %d manifest lists %d files, plan assigns %d", s, len(m.FileDigests), len(expect))
+	}
+	for i, fd := range m.FileDigests {
+		id := expect[i]
+		if fd.ID != id {
+			return fmt.Errorf("distribute: shard %d manifest entry %d is file %d, plan assigns file %d", s, i, fd.ID, id)
+		}
+		if fd.Size != p.Image.Files[id].Size {
+			return fmt.Errorf("distribute: shard %d reports %d bytes for file %d, plan says %d", s, fd.Size, id, p.Image.Files[id].Size)
+		}
+		if m.ContentHashed && fd.SHA256 == "" {
+			return fmt.Errorf("distribute: shard %d manifest is missing the content hash of file %d", s, id)
+		}
+	}
+	return nil
+}
+
+// VerifyManifest checks a single shard manifest against the plan, exactly
+// as Merge would. The resumable pipeline uses it to decide whether an
+// already-present manifest proves its shard done (skip) or is stale and
+// must be regenerated.
+func VerifyManifest(p *OpenPlan, m *Manifest) error {
+	if m == nil {
+		return fmt.Errorf("distribute: nil manifest")
+	}
+	if m.Shard < 0 || m.Shard >= len(p.Plan.Shards) {
+		return fmt.Errorf("distribute: manifest for unknown shard %d (plan has %d shards)", m.Shard, len(p.Plan.Shards))
+	}
+	return verifyShardManifest(p, p.Plan.Fingerprint(), m.Shard, m)
+}
+
+// AuditManifests grades a manifest set — possibly incomplete, possibly
+// holding stale or damaged entries — shard by shard against the plan. It
+// never fails on an individual bad manifest (that becomes the shard's
+// status); it only errors on set-level contradictions that make grading
+// ambiguous: a nil entry, a manifest for an unknown shard, or two manifests
+// claiming the same shard.
+func AuditManifests(p *OpenPlan, manifests []*Manifest) (*Audit, error) {
+	want := len(p.Plan.Shards)
+	audit := &Audit{Statuses: make([]ShardStatus, want)}
+	for s := range audit.Statuses {
+		audit.Statuses[s] = ShardStatus{Shard: s, State: ShardMissing}
+	}
+	fingerprint := p.Plan.Fingerprint()
 	for _, m := range manifests {
 		if m == nil {
 			return nil, fmt.Errorf("distribute: nil manifest")
@@ -41,56 +176,93 @@ func Merge(p *OpenPlan, manifests []*Manifest) (*MergeResult, error) {
 		if m.Shard < 0 || m.Shard >= want {
 			return nil, fmt.Errorf("distribute: manifest for unknown shard %d (plan has %d shards)", m.Shard, want)
 		}
-		if byShard[m.Shard] != nil {
+		if audit.Statuses[m.Shard].State != ShardMissing {
 			return nil, fmt.Errorf("distribute: duplicate manifest for shard %d", m.Shard)
 		}
-		byShard[m.Shard] = m
+		if err := verifyShardManifest(p, fingerprint, m.Shard, m); err != nil {
+			audit.Statuses[m.Shard] = ShardStatus{Shard: m.Shard, State: ShardInvalid, Err: err}
+			continue
+		}
+		audit.Statuses[m.Shard] = ShardStatus{Shard: m.Shard, State: ShardVerified, Manifest: m}
 	}
-	for s, m := range byShard {
-		if m == nil {
-			return nil, fmt.Errorf("distribute: missing manifest for shard %d", s)
+	// Within one run every shard is either hashed or metadata-only; a mix
+	// means manifests from different run modes were combined. The majority
+	// mode is taken as the run's intent and the minority shards are the
+	// ones marked invalid — anchoring on an arbitrary shard would let one
+	// wrong-mode manifest condemn every correct one (and make the re-run
+	// hints regenerate the good shards in the wrong mode).
+	hashed, plain := 0, 0
+	for _, st := range audit.Statuses {
+		if st.State == ShardVerified {
+			if st.Manifest.ContentHashed {
+				hashed++
+			} else {
+				plain++
+			}
 		}
 	}
+	audit.ContentHashed = hashed >= plain && hashed > 0
+	for _, st := range audit.Statuses {
+		if st.State == ShardVerified && st.Manifest.ContentHashed != audit.ContentHashed {
+			s := st.Shard
+			audit.Statuses[s] = ShardStatus{Shard: s, State: ShardInvalid,
+				Err: fmt.Errorf("distribute: shard %d manifest is %s while the run's majority is %s — mixes metadata-only and full-content runs",
+					s, ContentModeName(st.Manifest.ContentHashed), ContentModeName(audit.ContentHashed))}
+		}
+	}
+	return audit, nil
+}
 
-	fingerprint := p.Plan.Fingerprint()
-	hashed := byShard[0].ContentHashed
+// ContentModeName names a manifest's run mode (Manifest.ContentHashed) in
+// diagnostics, shared by merge audits and distrun's resume messages.
+func ContentModeName(hashed bool) string {
+	if hashed {
+		return "full-content"
+	}
+	return "metadata-only"
+}
+
+// Merge verifies the shard manifests against the plan and stitches them
+// into a single image, report, and canonical digest. It fails loudly on any
+// divergence: a missing, duplicated, or tampered manifest, a manifest from
+// a different plan, or per-shard counts, sizes, or hashes that do not match
+// the plan's expectations. For incomplete sets, use AuditManifests to learn
+// exactly which shards are outstanding instead.
+func Merge(p *OpenPlan, manifests []*Manifest) (*MergeResult, error) {
+	want := len(p.Plan.Shards)
+	if len(manifests) != want {
+		return nil, fmt.Errorf("distribute: merge needs %d manifests (one per shard), got %d", want, len(manifests))
+	}
+	audit, err := AuditManifests(p, manifests)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range audit.Statuses {
+		switch st.State {
+		case ShardMissing:
+			return nil, fmt.Errorf("distribute: missing manifest for shard %d", st.Shard)
+		case ShardInvalid:
+			return nil, st.Err
+		}
+	}
+	return MergeAudited(p, audit)
+}
+
+// MergeAudited stitches a fully verified audit into the merged image,
+// report, and canonical digest. It errors if any shard is not verified;
+// callers holding an incomplete audit should report audit.Outstanding()
+// and re-run those shards instead.
+func MergeAudited(p *OpenPlan, audit *Audit) (*MergeResult, error) {
+	if !audit.Complete() {
+		out := audit.Outstanding()
+		return nil, fmt.Errorf("distribute: image incomplete — %d of %d shards verified, outstanding: %v",
+			audit.Verified(), len(audit.Statuses), out)
+	}
 	digests := make([]string, len(p.Image.Files))
 	var totalBytes int64
-	for s, m := range byShard {
-		if m.FormatVersion != FormatVersion {
-			return nil, fmt.Errorf("distribute: shard %d manifest format v%d, this build speaks v%d", s, m.FormatVersion, FormatVersion)
-		}
-		if m.PlanFingerprint != fingerprint {
-			return nil, fmt.Errorf("distribute: shard %d manifest was produced for a different plan (fingerprint %s, this plan is %s)",
-				s, m.PlanFingerprint, fingerprint)
-		}
-		if err := m.VerifySelf(); err != nil {
-			return nil, err
-		}
-		if m.ContentHashed != hashed {
-			return nil, fmt.Errorf("distribute: shard %d manifest mixes metadata-only and full-content runs", s)
-		}
-		sp := p.Plan.Shards[s]
-		if m.Dirs != sp.Dirs || m.Files != sp.Files || m.Bytes != sp.Bytes {
-			return nil, fmt.Errorf("distribute: shard %d wrote %d dirs, %d files, %d bytes; plan expects %d, %d, %d",
-				s, m.Dirs, m.Files, m.Bytes, sp.Dirs, sp.Files, sp.Bytes)
-		}
-		expect := p.FilesByShard[s]
-		if len(m.FileDigests) != len(expect) {
-			return nil, fmt.Errorf("distribute: shard %d manifest lists %d files, plan assigns %d", s, len(m.FileDigests), len(expect))
-		}
-		for i, fd := range m.FileDigests {
-			id := expect[i]
-			if fd.ID != id {
-				return nil, fmt.Errorf("distribute: shard %d manifest entry %d is file %d, plan assigns file %d", s, i, fd.ID, id)
-			}
-			if fd.Size != p.Image.Files[id].Size {
-				return nil, fmt.Errorf("distribute: shard %d reports %d bytes for file %d, plan says %d", s, fd.Size, id, p.Image.Files[id].Size)
-			}
-			if hashed && fd.SHA256 == "" {
-				return nil, fmt.Errorf("distribute: shard %d manifest is missing the content hash of file %d", s, id)
-			}
-			digests[id] = fd.SHA256
+	for _, st := range audit.Statuses {
+		for _, fd := range st.Manifest.FileDigests {
+			digests[fd.ID] = fd.SHA256
 			totalBytes += fd.Size
 		}
 	}
@@ -99,7 +271,7 @@ func Merge(p *OpenPlan, manifests []*Manifest) (*MergeResult, error) {
 	}
 
 	res := &MergeResult{Image: p.Image, Bytes: totalBytes}
-	if hashed {
+	if audit.ContentHashed {
 		digest, err := fsimage.CombineDigest(p.Image, digests)
 		if err != nil {
 			return nil, fmt.Errorf("distribute: combining digests: %w", err)

@@ -4,7 +4,9 @@
 //   - BuildPlan runs the (cheap) metadata pass once — directory skeleton,
 //     constrained file sizes, extensions, placement — and partitions the
 //     namespace into balanced subtree shards, each carrying its stable RNG
-//     stream key. The Plan serializes to JSON.
+//     stream key. The Plan serializes to JSON with the image metadata split
+//     into hash-guarded chunks, so encoding and decoding buffer O(chunk)
+//     bytes, never the whole image's JSON.
 //   - ExecuteShard runs one shard in total isolation: it needs only the plan
 //     file, materializes the shard's directories and files (the expensive
 //     content pass), and emits a Manifest recording per-file content hashes.
@@ -12,17 +14,21 @@
 //     processes, containers, CI jobs, or machines.
 //   - Merge stitches the manifests back into a single image + report,
 //     verifying count, byte, and hash invariants, and computes the canonical
-//     image digest.
+//     image digest. Audit is the fault-tolerant entry point: it grades an
+//     incomplete manifest set shard by shard so a failed run can be resumed
+//     instead of restarted.
 //
 // The headline invariant, enforced by tests and CI: for a fixed seed,
 // plan → K workers → merge produces an image byte-identical to a
-// single-process run, for any K. This holds because every RNG stream is a
-// pure function of the master seed and a stable key (see
-// stats.StreamKey), never of process or worker identity.
+// single-process run, for any K — even across worker failures, retries and
+// resumed runs. This holds because every RNG stream is a pure function of
+// the master seed and a stable key (see stats.StreamKey), never of process
+// or worker identity, and because a shard's output is only trusted once its
+// sealed manifest verifies against the plan fingerprint.
 package distribute
 
 import (
-	"bytes"
+	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -37,8 +43,9 @@ import (
 )
 
 // FormatVersion is the plan/manifest wire-format version. Workers refuse
-// plans from a different major format.
-const FormatVersion = 1
+// plans from a different major format. Version 2 replaced the single
+// embedded image blob with the chunked metadata stream.
+const FormatVersion = 2
 
 // ShardPlan describes one shard of the partitioned namespace.
 type ShardPlan struct {
@@ -65,6 +72,15 @@ type ShardPlan struct {
 // Plan is the serializable unit of work distribution: the fully resolved
 // image metadata plus the shard partition. It is self-contained — a worker
 // needs nothing but the plan file and its shard index.
+//
+// On the wire a plan is one JSON document of the form
+//
+//	{"header": {...this struct...}, "chunks": [ {...}, {...}, ... ]}
+//
+// where the chunks stream the image metadata (fsimage.Chunk) in fixed
+// order. Both Encode and DecodePlan process the chunks one at a time, so
+// peak memory for the serialized metadata is O(chunk) regardless of image
+// size; the header's ImageSHA256 chains the per-chunk hashes together.
 type Plan struct {
 	FormatVersion int    `json:"format_version"`
 	Seed          int64  `json:"seed"`
@@ -74,11 +90,22 @@ type Plan struct {
 	Files      int    `json:"files"`
 	Dirs       int    `json:"dirs"`
 	Bytes      int64  `json:"bytes"`
-	// Image is the fsimage JSON encoding of the resolved metadata.
-	Image json.RawMessage `json:"image"`
-	// ImageSHA256 guards the embedded image bytes against corruption.
+	// Spec is the image's reproducibility spec (it used to travel inside the
+	// embedded image blob; the chunk stream carries only records).
+	Spec fsimage.Spec `json:"spec"`
+	// ChunkSize is the metadata records-per-chunk the stream was sliced by.
+	ChunkSize int `json:"chunk_size"`
+	// Chunks is the number of metadata chunks in the stream.
+	Chunks int `json:"chunks"`
+	// ImageSHA256 chains the per-chunk record hashes
+	// (fsimage.ChainChunkHashes), guarding the whole metadata stream.
 	ImageSHA256 string      `json:"image_sha256"`
 	Shards      []ShardPlan `json:"shards"`
+
+	// img is the in-memory image metadata: populated by BuildPlan on the
+	// producing side and rebuilt chunk by chunk by DecodePlan on the
+	// consuming side. It never appears in the header JSON.
+	img *fsimage.Image
 }
 
 // contentStreamKey is the stream key every shard records for the content
@@ -92,11 +119,15 @@ func contentStreamKey() stats.StreamKey {
 // exactly maxShards balanced subtree shards (oversized subtrees are cut at
 // deeper levels, so one worker per shard holds even when the generative
 // model concentrates the namespace under a few top-level directories).
-// Disk-layout simulation is always skipped: plans describe images, and the
-// expensive content pass is the workers' job.
-func BuildPlan(cfg core.Config, maxShards int) (*Plan, error) {
+// chunkSize sets the metadata records per serialized chunk; 0 selects
+// fsimage.DefaultChunkSize. Disk-layout simulation is always skipped: plans
+// describe images, and the expensive content pass is the workers' job.
+func BuildPlan(cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
 	if maxShards < 1 {
 		return nil, fmt.Errorf("distribute: shard count %d < 1", maxShards)
+	}
+	if chunkSize <= 0 {
+		chunkSize = fsimage.DefaultChunkSize
 	}
 	cfg.SimulateDisk = false
 	cfg.LayoutScore = 1.0
@@ -131,18 +162,17 @@ func BuildPlan(cfg core.Config, maxShards int) (*Plan, error) {
 		}
 	}
 
-	var pretty bytes.Buffer
-	if err := img.Encode(&pretty); err != nil {
-		return nil, fmt.Errorf("distribute: %w", err)
+	// One streaming pass over the metadata seals the chunk boundaries and
+	// the whole-image chain hash without ever buffering the chunks' JSON.
+	chain := fsimage.NewChunkHashChain()
+	chunks := 0
+	if err := fsimage.EncodeChunks(img, chunkSize, func(c *fsimage.Chunk) error {
+		chain.Add(c.SHA256)
+		chunks++
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("distribute: hashing metadata chunks: %w", err)
 	}
-	// Compact the embedded image: encoding/json compacts RawMessage fields
-	// when marshalling the plan, so hashing the compact form is what makes
-	// the integrity hash stable across an encode/decode round-trip.
-	var buf bytes.Buffer
-	if err := json.Compact(&buf, pretty.Bytes()); err != nil {
-		return nil, fmt.Errorf("distribute: compacting image: %w", err)
-	}
-	sum := sha256.Sum256(buf.Bytes())
 	return &Plan{
 		FormatVersion: FormatVersion,
 		Seed:          img.Spec.Seed,
@@ -151,28 +181,139 @@ func BuildPlan(cfg core.Config, maxShards int) (*Plan, error) {
 		Files:         img.FileCount(),
 		Dirs:          img.DirCount(),
 		Bytes:         img.TotalBytes(),
-		Image:         json.RawMessage(buf.Bytes()),
-		ImageSHA256:   hex.EncodeToString(sum[:]),
+		Spec:          img.Spec,
+		ChunkSize:     chunkSize,
+		Chunks:        chunks,
+		ImageSHA256:   chain.Sum(),
 		Shards:        shards,
+		img:           img,
 	}, nil
 }
 
-// Encode writes the plan as JSON.
+// Encode writes the plan as JSON: the header object first, then the
+// metadata chunks streamed one at a time. Peak buffering is one chunk.
 func (p *Plan) Encode(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(p); err != nil {
+	if p.img == nil {
+		return fmt.Errorf("distribute: plan holds no image metadata to encode")
+	}
+	bw := bufio.NewWriterSize(w, 64*1024)
+	header, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("distribute: encoding plan header: %w", err)
+	}
+	if _, err := fmt.Fprintf(bw, "{\"header\":%s,\"chunks\":[", header); err != nil {
+		return fmt.Errorf("distribute: encoding plan: %w", err)
+	}
+	chain := fsimage.NewChunkHashChain()
+	first := true
+	err = fsimage.EncodeChunks(p.img, p.ChunkSize, func(c *fsimage.Chunk) error {
+		chain.Add(c.SHA256)
+		raw, err := json.Marshal(c)
+		if err != nil {
+			return fmt.Errorf("encoding metadata chunk %d: %w", c.Index, err)
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("distribute: %w", err)
+	}
+	// Guard against the image having been mutated after BuildPlan sealed
+	// the header: the streamed chunks must chain to the recorded hash.
+	if got := chain.Sum(); got != p.ImageSHA256 {
+		return fmt.Errorf("distribute: plan metadata changed since the header was sealed (chain %s, header says %s)", got, p.ImageSHA256)
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return fmt.Errorf("distribute: encoding plan: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("distribute: encoding plan: %w", err)
 	}
 	return nil
 }
 
-// DecodePlan reads a plan previously written by Encode. It performs only
-// syntactic decoding; Open validates and unpacks it.
+// expectDelim reads one JSON token and requires it to be the given
+// delimiter.
+func expectDelim(dec *json.Decoder, want rune, where string) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("distribute: decoding plan %s: %w", where, err)
+	}
+	if d, ok := tok.(json.Delim); !ok || rune(d) != want {
+		return fmt.Errorf("distribute: decoding plan %s: got %v, want %q", where, tok, want)
+	}
+	return nil
+}
+
+// DecodePlan reads a plan previously written by Encode, verifying each
+// metadata chunk's integrity hash and rebuilding the image incrementally —
+// the serialized metadata is never held in memory whole. Open validates the
+// decoded plan's shard expectations and unpacks the partition.
 func DecodePlan(r io.Reader) (*Plan, error) {
-	var p Plan
-	if err := json.NewDecoder(r).Decode(&p); err != nil {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 64*1024))
+	if err := expectDelim(dec, '{', "document"); err != nil {
+		return nil, err
+	}
+	tok, err := dec.Token()
+	if err != nil {
 		return nil, fmt.Errorf("distribute: decoding plan: %w", err)
 	}
+	if key, ok := tok.(string); !ok || key != "header" {
+		return nil, fmt.Errorf("distribute: plan does not start with a header (got %v) — not a v%d chunked plan; rebuild it with this impressions version", tok, FormatVersion)
+	}
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("distribute: decoding plan header: %w", err)
+	}
+	if p.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("distribute: plan format v%d, this build speaks v%d", p.FormatVersion, FormatVersion)
+	}
+	tok, err = dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("distribute: decoding plan: %w", err)
+	}
+	if key, ok := tok.(string); !ok || key != "chunks" {
+		return nil, fmt.Errorf("distribute: plan header is not followed by metadata chunks (got %v)", tok)
+	}
+	if err := expectDelim(dec, '[', "chunk stream"); err != nil {
+		return nil, err
+	}
+	builder := fsimage.NewImageBuilder(p.Spec)
+	var c fsimage.Chunk
+	for dec.More() {
+		c = fsimage.Chunk{}
+		if err := dec.Decode(&c); err != nil {
+			return nil, fmt.Errorf("distribute: decoding metadata chunk %d: %w", builder.Chunks(), err)
+		}
+		if err := builder.AddChunk(&c); err != nil {
+			return nil, fmt.Errorf("distribute: %w", err)
+		}
+	}
+	if err := expectDelim(dec, ']', "chunk stream"); err != nil {
+		return nil, err
+	}
+	if err := expectDelim(dec, '}', "document"); err != nil {
+		return nil, err
+	}
+	if builder.Chunks() != p.Chunks {
+		return nil, fmt.Errorf("distribute: plan promises %d metadata chunks, stream carried %d — truncated?", p.Chunks, builder.Chunks())
+	}
+	if got := builder.ChainHash(); got != p.ImageSHA256 {
+		return nil, fmt.Errorf("distribute: embedded image hash mismatch: plan says %s, chunks chain to %s", p.ImageSHA256, got)
+	}
+	img, err := builder.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("distribute: embedded image: %w", err)
+	}
+	p.img = img
 	return &p, nil
 }
 
@@ -217,8 +358,9 @@ type OpenPlan struct {
 	FilesByShard [][]int
 }
 
-// Open validates the plan — format version, image integrity, partition
-// reconstruction, per-shard invariants — and unpacks it for execution.
+// Open validates the plan — format version, totals, partition
+// reconstruction, per-shard invariants — and unpacks it for execution. The
+// metadata's chunk-level integrity is verified earlier, by DecodePlan.
 func (p *Plan) Open() (*OpenPlan, error) {
 	if p.FormatVersion != FormatVersion {
 		return nil, fmt.Errorf("distribute: plan format v%d, this build speaks v%d", p.FormatVersion, FormatVersion)
@@ -226,13 +368,9 @@ func (p *Plan) Open() (*OpenPlan, error) {
 	if p.DigestAlgo != fsimage.DigestVersion {
 		return nil, fmt.Errorf("distribute: plan digest algo %q, this build computes %q", p.DigestAlgo, fsimage.DigestVersion)
 	}
-	sum := sha256.Sum256(p.Image)
-	if got := hex.EncodeToString(sum[:]); got != p.ImageSHA256 {
-		return nil, fmt.Errorf("distribute: embedded image hash mismatch: plan says %s, bytes hash to %s", p.ImageSHA256, got)
-	}
-	img, err := fsimage.Decode(bytes.NewReader(p.Image))
-	if err != nil {
-		return nil, fmt.Errorf("distribute: embedded image: %w", err)
+	img := p.img
+	if img == nil {
+		return nil, fmt.Errorf("distribute: plan holds no image metadata (not produced by BuildPlan or DecodePlan)")
 	}
 	if img.FileCount() != p.Files || img.DirCount() != p.Dirs || img.TotalBytes() != p.Bytes {
 		return nil, fmt.Errorf("distribute: plan totals (%d files, %d dirs, %d bytes) do not match embedded image (%d, %d, %d)",

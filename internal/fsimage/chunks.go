@@ -1,0 +1,266 @@
+package fsimage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+
+	"impressions/internal/namespace"
+)
+
+// The chunked metadata stream is how large images travel inside plan files
+// without ever being materialized as one JSON blob in memory: the image's
+// directory records stream first (ID order), then its file records (ID
+// order), sliced into hash-guarded chunks of at most a few thousand records
+// each. Producers emit one chunk at a time (EncodeChunks), consumers rebuild
+// the image one chunk at a time (ImageBuilder), and both sides hold O(chunk)
+// metadata buffers instead of O(image). The per-chunk hash covers the
+// records themselves — not their JSON rendering — so integrity survives any
+// re-encoding, and the chain over all chunk hashes (ChainChunkHashes) stands
+// in for a whole-image hash.
+
+// DefaultChunkSize is the default number of metadata records per chunk. At
+// ~100 bytes per serialized record a chunk costs on the order of 1 MB to
+// buffer, independent of image size.
+const DefaultChunkSize = 8192
+
+// chunkHashVersion versions the canonical record-hash formula below.
+const chunkHashVersion = "impressions-plan-chunk-v1"
+
+// DirRecord is the serialized form of one directory in the metadata stream
+// (and in whole-image JSON encodings).
+type DirRecord struct {
+	ID      int     `json:"id"`
+	Parent  int     `json:"parent"`
+	Name    string  `json:"name"`
+	Special bool    `json:"special,omitempty"`
+	Bias    float64 `json:"bias,omitempty"`
+}
+
+// Chunk is one hash-guarded slice of an image's metadata stream. A chunk
+// holds either directory records or file records, never both; across the
+// stream, every directory chunk precedes every file chunk and records appear
+// in ascending ID order.
+type Chunk struct {
+	// Index is the chunk's position in the stream, starting at 0.
+	Index int         `json:"index"`
+	Dirs  []DirRecord `json:"dirs,omitempty"`
+	Files []File      `json:"files,omitempty"`
+	// SHA256 is RecordsHash() of this chunk, guarding it in transit.
+	SHA256 string `json:"sha256"`
+}
+
+// RecordsHash computes the canonical SHA-256 (hex) over the chunk's index
+// and records. It hashes field values, not JSON bytes, so the hash is stable
+// across whitespace, field-order, and encoder differences.
+func (c *Chunk) RecordsHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nindex:%d\n", chunkHashVersion, c.Index)
+	for _, d := range c.Dirs {
+		fmt.Fprintf(h, "D %d %d %q %t %g\n", d.ID, d.Parent, d.Name, d.Special, d.Bias)
+	}
+	for _, f := range c.Files {
+		fmt.Fprintf(h, "F %d %q %q %d %d %d\n", f.ID, f.Name, f.Ext, f.Size, f.DirID, f.Depth)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EncodeChunks slices img's metadata into sealed chunks of at most chunkSize
+// records each and passes them to emit in stream order. The chunk (and its
+// record slices) is reused between calls — emit must not retain it. A
+// chunkSize <= 0 selects DefaultChunkSize.
+func EncodeChunks(img *Image, chunkSize int, emit func(*Chunk) error) error {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	var c Chunk
+	dirs := img.Tree.Dirs
+	dirBuf := make([]DirRecord, 0, min(chunkSize, len(dirs)))
+	for lo := 0; lo < len(dirs); lo += chunkSize {
+		hi := min(lo+chunkSize, len(dirs))
+		dirBuf = dirBuf[:0]
+		for _, d := range dirs[lo:hi] {
+			dirBuf = append(dirBuf, DirRecord{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias})
+		}
+		c.Dirs, c.Files = dirBuf, nil
+		c.SHA256 = c.RecordsHash()
+		if err := emit(&c); err != nil {
+			return err
+		}
+		c.Index++
+	}
+	for lo := 0; lo < len(img.Files); lo += chunkSize {
+		hi := min(lo+chunkSize, len(img.Files))
+		c.Dirs, c.Files = nil, img.Files[lo:hi]
+		c.SHA256 = c.RecordsHash()
+		if err := emit(&c); err != nil {
+			return err
+		}
+		c.Index++
+	}
+	return nil
+}
+
+// ChainChunkHashes folds a sequence of chunk hashes (in stream order) into
+// one SHA-256 (hex), the whole-image integrity value a chunked stream's
+// header records. Both producer and consumer can compute it incrementally;
+// see also ChunkHashChain for the streaming form.
+func ChainChunkHashes(hashes []string) string {
+	chain := NewChunkHashChain()
+	for _, h := range hashes {
+		chain.Add(h)
+	}
+	return chain.Sum()
+}
+
+// ChunkHashChain incrementally folds chunk hashes into the whole-image
+// integrity hash, so neither side needs to hold the per-chunk hash list.
+type ChunkHashChain struct {
+	h hash.Hash
+}
+
+// NewChunkHashChain starts an empty chain.
+func NewChunkHashChain() *ChunkHashChain {
+	h := sha256.New()
+	fmt.Fprintf(h, "impressions-plan-chunk-chain-v1\n")
+	return &ChunkHashChain{h: h}
+}
+
+// Add folds one chunk hash (hex) into the chain.
+func (c *ChunkHashChain) Add(chunkHash string) {
+	fmt.Fprintf(c.h, "%s\n", chunkHash)
+}
+
+// Sum returns the chain hash (hex) over everything added so far.
+func (c *ChunkHashChain) Sum() string {
+	return hex.EncodeToString(c.h.Sum(nil))
+}
+
+// ImageBuilder rebuilds an image incrementally from a chunked metadata
+// stream. Feed chunks in order with AddChunk — each is integrity-checked and
+// folded into the running hash chain — then call Finish. Only the growing
+// image itself is held in memory; no chunk's serialized form outlives its
+// AddChunk call.
+type ImageBuilder struct {
+	asm       assembler
+	spec      Spec
+	nextChunk int
+	chain     *ChunkHashChain
+}
+
+// NewImageBuilder starts a builder for an image carrying the given spec.
+func NewImageBuilder(spec Spec) *ImageBuilder {
+	return &ImageBuilder{spec: spec, chain: NewChunkHashChain()}
+}
+
+// AddChunk verifies and applies the next chunk of the stream. It rejects
+// out-of-order chunks, records failing their integrity hash, directory
+// records after the first file record, and structurally invalid records.
+func (b *ImageBuilder) AddChunk(c *Chunk) error {
+	if c.Index != b.nextChunk {
+		return fmt.Errorf("fsimage: metadata chunk %d arrived out of order (want chunk %d)", c.Index, b.nextChunk)
+	}
+	if got := c.RecordsHash(); got != c.SHA256 {
+		return fmt.Errorf("fsimage: metadata chunk %d failed its integrity check (recorded %s, recomputed %s) — corrupted in transit",
+			c.Index, c.SHA256, got)
+	}
+	if len(c.Dirs) > 0 && len(c.Files) > 0 {
+		return fmt.Errorf("fsimage: metadata chunk %d mixes directory and file records", c.Index)
+	}
+	if len(c.Dirs) > 0 && b.asm.filesSeen {
+		return fmt.Errorf("fsimage: metadata chunk %d carries directories after the file stream began", c.Index)
+	}
+	for _, d := range c.Dirs {
+		if err := b.asm.addDir(d); err != nil {
+			return err
+		}
+	}
+	for _, f := range c.Files {
+		if err := b.asm.addFile(f); err != nil {
+			return err
+		}
+	}
+	b.chain.Add(c.SHA256)
+	b.nextChunk++
+	return nil
+}
+
+// ChainHash returns the running chain hash over the chunks added so far;
+// after the last chunk it must equal the stream header's whole-image hash.
+func (b *ImageBuilder) ChainHash() string { return b.chain.Sum() }
+
+// Chunks returns how many chunks have been added.
+func (b *ImageBuilder) Chunks() int { return b.nextChunk }
+
+// Finish validates the assembled image and returns it.
+func (b *ImageBuilder) Finish() (*Image, error) {
+	img, err := b.asm.finish()
+	if err != nil {
+		return nil, err
+	}
+	img.Spec = b.spec
+	return img, nil
+}
+
+// assembler is the shared record-by-record image rebuilder behind both the
+// whole-image Decode and the chunk-streamed ImageBuilder: directories in ID
+// order (root first), then files in ID order, with tree counters restored as
+// files arrive.
+type assembler struct {
+	img       *Image
+	tree      *namespace.Tree
+	filesSeen bool
+}
+
+func (a *assembler) addDir(d DirRecord) error {
+	if a.tree == nil {
+		if d.ID != 0 {
+			return fmt.Errorf("fsimage: metadata stream begins with directory %d, want the root (0)", d.ID)
+		}
+		a.tree = namespace.GenerateTree(nil, 1, namespace.ShapeFlat)
+		a.img = New(a.tree)
+		a.tree.Dirs[0].Name = d.Name
+		a.tree.Dirs[0].Special = d.Special
+		a.tree.Dirs[0].Bias = d.Bias
+		return nil
+	}
+	if d.Parent < 0 || d.Parent >= a.tree.Len() {
+		return fmt.Errorf("fsimage: directory %d has invalid parent %d", d.ID, d.Parent)
+	}
+	id := a.tree.AddDir(d.Parent)
+	if id != d.ID {
+		return fmt.Errorf("fsimage: directory IDs are not dense (got %d want %d)", id, d.ID)
+	}
+	a.tree.Dirs[id].Name = d.Name
+	a.tree.Dirs[id].Special = d.Special
+	a.tree.Dirs[id].Bias = d.Bias
+	return nil
+}
+
+func (a *assembler) addFile(f File) error {
+	if a.tree == nil {
+		return fmt.Errorf("fsimage: file %d arrived before any directory record", f.ID)
+	}
+	a.filesSeen = true
+	if f.DirID < 0 || f.DirID >= a.tree.Len() {
+		return fmt.Errorf("fsimage: file %d references unknown directory %d", f.ID, f.DirID)
+	}
+	id := a.img.AddFile(f.Name, f.Ext, f.Size, f.DirID, f.Depth)
+	if id != f.ID {
+		return fmt.Errorf("fsimage: file IDs are not dense (got %d want %d)", id, f.ID)
+	}
+	a.tree.Dirs[f.DirID].FileCount++
+	a.tree.Dirs[f.DirID].Bytes += f.Size
+	return nil
+}
+
+func (a *assembler) finish() (*Image, error) {
+	if a.tree == nil {
+		return nil, fmt.Errorf("fsimage: decoded image has no directories")
+	}
+	if err := a.img.Validate(); err != nil {
+		return nil, err
+	}
+	return a.img, nil
+}

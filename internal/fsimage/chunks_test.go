@@ -1,0 +1,171 @@
+package fsimage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// collectChunks runs EncodeChunks and deep-copies each emitted chunk (the
+// encoder reuses its buffers between calls).
+func collectChunks(t *testing.T, img *Image, chunkSize int) []*Chunk {
+	t.Helper()
+	var out []*Chunk
+	err := EncodeChunks(img, chunkSize, func(c *Chunk) error {
+		cp := *c
+		cp.Dirs = append([]DirRecord(nil), c.Dirs...)
+		cp.Files = append([]File(nil), c.Files...)
+		out = append(out, &cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("EncodeChunks: %v", err)
+	}
+	return out
+}
+
+// rebuild feeds chunks through an ImageBuilder.
+func rebuild(t *testing.T, spec Spec, chunks []*Chunk) (*Image, string) {
+	t.Helper()
+	b := NewImageBuilder(spec)
+	for _, c := range chunks {
+		if err := b.AddChunk(c); err != nil {
+			t.Fatalf("AddChunk(%d): %v", c.Index, err)
+		}
+	}
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return img, b.ChainHash()
+}
+
+// TestChunkRoundTrip: an image sliced into chunks and rebuilt must encode to
+// byte-identical JSON, at several chunk sizes (including ones that force
+// both multi-chunk dirs and multi-chunk files).
+func TestChunkRoundTrip(t *testing.T) {
+	img := buildTestImage(t)
+	var want bytes.Buffer
+	if err := img.Encode(&want); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for _, cs := range []int{1, 3, 7, 1 << 20} {
+		chunks := collectChunks(t, img, cs)
+		wantChunks := (img.DirCount()+cs-1)/cs + (img.FileCount()+cs-1)/cs
+		if len(chunks) != wantChunks {
+			t.Fatalf("chunkSize=%d: got %d chunks, want %d", cs, len(chunks), wantChunks)
+		}
+		got, chain := rebuild(t, img.Spec, chunks)
+		var buf bytes.Buffer
+		if err := got.Encode(&buf); err != nil {
+			t.Fatalf("Encode(rebuilt): %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+			t.Fatalf("chunkSize=%d: rebuilt image differs from the original", cs)
+		}
+		hashes := make([]string, len(chunks))
+		for i, c := range chunks {
+			hashes[i] = c.SHA256
+		}
+		if chain != ChainChunkHashes(hashes) {
+			t.Fatalf("chunkSize=%d: builder chain hash differs from ChainChunkHashes", cs)
+		}
+	}
+}
+
+// TestChunkHashIsContentBased: re-encoding a chunk (different JSON
+// formatting) must not change its hash, but flipping any record field must.
+func TestChunkHashIsContentBased(t *testing.T) {
+	img := buildTestImage(t)
+	chunks := collectChunks(t, img, 4)
+	for _, c := range chunks {
+		if c.SHA256 != c.RecordsHash() {
+			t.Fatalf("chunk %d not sealed with its records hash", c.Index)
+		}
+	}
+	fileChunk := chunks[len(chunks)-1]
+	orig := fileChunk.RecordsHash()
+	fileChunk.Files[0].Size++
+	if fileChunk.RecordsHash() == orig {
+		t.Error("hash ignores file size")
+	}
+	fileChunk.Files[0].Size--
+	dirChunk := chunks[0]
+	orig = dirChunk.RecordsHash()
+	dirChunk.Dirs[1].Name += "x"
+	if dirChunk.RecordsHash() == orig {
+		t.Error("hash ignores directory name")
+	}
+}
+
+// TestImageBuilderRejectsBadStreams covers corruption, reordering and
+// structural violations.
+func TestImageBuilderRejectsBadStreams(t *testing.T) {
+	img := buildTestImage(t)
+	chunks := collectChunks(t, img, 4)
+
+	corrupt := *chunks[len(chunks)-1]
+	corrupt.Files = append([]File(nil), corrupt.Files...)
+	corrupt.Files[0].Size += 7 // seal not recomputed
+	b := NewImageBuilder(img.Spec)
+	for _, c := range chunks[:len(chunks)-1] {
+		if err := b.AddChunk(c); err != nil {
+			t.Fatalf("AddChunk: %v", err)
+		}
+	}
+	if err := b.AddChunk(&corrupt); err == nil || !strings.Contains(err.Error(), "integrity") {
+		t.Errorf("corrupted chunk: got %v, want an integrity error", err)
+	}
+
+	b = NewImageBuilder(img.Spec)
+	if err := b.AddChunk(chunks[1]); err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Errorf("out-of-order chunk: got %v", err)
+	}
+
+	// Directory records after the file stream began.
+	b = NewImageBuilder(img.Spec)
+	for _, c := range chunks {
+		if err := b.AddChunk(c); err != nil {
+			t.Fatalf("AddChunk: %v", err)
+		}
+	}
+	late := Chunk{Index: len(chunks), Dirs: []DirRecord{{ID: 999, Parent: 0, Name: "late"}}}
+	late.SHA256 = late.RecordsHash()
+	if err := b.AddChunk(&late); err == nil || !strings.Contains(err.Error(), "after the file stream") {
+		t.Errorf("late dirs: got %v", err)
+	}
+
+	// A mixed chunk is structurally invalid.
+	mixed := Chunk{Index: 0, Dirs: []DirRecord{{ID: 0, Name: "root"}}, Files: []File{{ID: 0, Name: "f"}}}
+	mixed.SHA256 = mixed.RecordsHash()
+	if err := NewImageBuilder(img.Spec).AddChunk(&mixed); err == nil || !strings.Contains(err.Error(), "mixes") {
+		t.Errorf("mixed chunk: got %v", err)
+	}
+
+	// An empty stream has no image.
+	if _, err := NewImageBuilder(img.Spec).Finish(); err == nil {
+		t.Error("empty stream should not finish")
+	}
+}
+
+// TestEncodeChunksBounded asserts the encoder is actually streaming: with a
+// small chunk size it must emit many chunks, and no single chunk may carry
+// more than chunkSize records — the O(chunk) memory contract.
+func TestEncodeChunksBounded(t *testing.T) {
+	img := buildTestImage(t)
+	const cs = 2
+	n := 0
+	err := EncodeChunks(img, cs, func(c *Chunk) error {
+		if len(c.Dirs) > cs || len(c.Files) > cs {
+			t.Fatalf("chunk %d carries %d+%d records, limit %d", c.Index, len(c.Dirs), len(c.Files), cs)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (img.DirCount()+cs-1)/cs + (img.FileCount()+cs-1)/cs; n != want {
+		t.Fatalf("emitted %d chunks, want %d", n, want)
+	}
+}

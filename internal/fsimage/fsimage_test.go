@@ -284,6 +284,50 @@ func TestMaterializeDeterministicContent(t *testing.T) {
 	}
 }
 
+// TestScanSkipsIrregularEntries: symlinks (to files, directories, or
+// nothing) and other non-regular entries must not be counted as files — a
+// symlink's lstat size is the length of its target path, which would skew
+// the size histograms of real scanned trees — but they must be counted in
+// the scan result so the omission is visible.
+func TestScanSkipsIrregularEntries(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for rel, size := range map[string]int{"real.txt": 100, "sub/other.log": 50} {
+		if err := os.WriteFile(filepath.Join(root, filepath.FromSlash(rel)), make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := map[string]string{
+		"link-to-file":   filepath.Join(root, "real.txt"),
+		"link-to-dir":    filepath.Join(root, "sub"),
+		"dangling":       filepath.Join(root, "no-such-target"),
+		"sub/inner-link": filepath.Join(root, "real.txt"),
+	}
+	for rel, target := range links {
+		if err := os.Symlink(target, filepath.Join(root, filepath.FromSlash(rel))); err != nil {
+			t.Skipf("symlinks unavailable: %v", err)
+		}
+	}
+	res, err := ScanTree(root)
+	if err != nil {
+		t.Fatalf("ScanTree: %v", err)
+	}
+	if got := res.Image.FileCount(); got != 2 {
+		t.Errorf("scan counted %d files, want 2 (symlinks must be skipped)", got)
+	}
+	if got := res.Image.TotalBytes(); got != 150 {
+		t.Errorf("scan counted %d bytes, want 150", got)
+	}
+	if got := res.Image.DirCount(); got != 2 {
+		t.Errorf("scan counted %d dirs, want 2 (a symlink to a dir is not a dir)", got)
+	}
+	if res.Irregular != len(links) {
+		t.Errorf("scan reported %d irregular entries, want %d", res.Irregular, len(links))
+	}
+}
+
 func TestScanErrors(t *testing.T) {
 	if _, err := Scan("/nonexistent/path/xyz"); err == nil {
 		t.Error("expected error for missing root")

@@ -10,11 +10,33 @@ import (
 	"impressions/internal/namespace"
 )
 
+// ScanResult is what ScanTree found: the image built from the regular
+// entries, plus a count of everything that was deliberately left out.
+type ScanResult struct {
+	Image *Image
+	// Irregular counts the non-regular, non-directory entries the scan
+	// skipped: symlinks, sockets, FIFOs, device nodes. They carry no content
+	// Impressions models (a symlink's Info reports the target path's length,
+	// not file bytes), so counting them as files would skew the size and
+	// depth histograms of real scanned trees.
+	Irregular int
+}
+
 // Scan walks a real directory tree rooted at root and builds an Image from
 // what it finds. It is the inverse of Materialize and also what the fsstat
 // tool uses to report the distributions of an existing file system, so users
-// can feed measured curves back into Impressions.
+// can feed measured curves back into Impressions. Non-regular entries
+// (symlinks, devices, FIFOs) are skipped; use ScanTree to learn how many.
 func Scan(root string) (*Image, error) {
+	res, err := ScanTree(root)
+	if err != nil {
+		return nil, err
+	}
+	return res.Image, nil
+}
+
+// ScanTree is Scan plus a report of the skipped irregular entries.
+func ScanTree(root string) (*ScanResult, error) {
 	info, err := os.Stat(root)
 	if err != nil {
 		return nil, fmt.Errorf("fsimage: stat root %q: %w", root, err)
@@ -33,6 +55,7 @@ func Scan(root string) (*Image, error) {
 		size int64
 	}
 	var files []pendingFile
+	irregular := 0
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -54,6 +77,13 @@ func Scan(root string) (*Image, error) {
 			id := tree.AddDir(parentID)
 			tree.Dirs[id].Name = d.Name()
 			dirIDs[rel] = id
+			return nil
+		}
+		// WalkDir lstats entries, so d.Type() is the entry's own type: a
+		// symlink (even to a directory) shows up here, not as a dir. Only
+		// regular files carry sizes the histograms should see.
+		if d.Type()&fs.ModeType != 0 {
+			irregular++
 			return nil
 		}
 		fi, ierr := d.Info()
@@ -80,7 +110,7 @@ func Scan(root string) (*Image, error) {
 		tree.Dirs[parentID].FileCount++
 		tree.Dirs[parentID].Bytes += pf.size
 	}
-	return img, nil
+	return &ScanResult{Image: img, Irregular: irregular}, nil
 }
 
 func parentOf(rel string) string {

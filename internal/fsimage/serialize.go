@@ -4,33 +4,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-
-	"impressions/internal/namespace"
 )
 
 // serializedImage is the on-disk JSON form of an image's metadata.
 type serializedImage struct {
-	Spec  Spec            `json:"spec"`
-	Dirs  []serializedDir `json:"dirs"`
-	Files []File          `json:"files"`
-}
-
-type serializedDir struct {
-	ID      int     `json:"id"`
-	Parent  int     `json:"parent"`
-	Name    string  `json:"name"`
-	Special bool    `json:"special,omitempty"`
-	Bias    float64 `json:"bias,omitempty"`
+	Spec  Spec        `json:"spec"`
+	Dirs  []DirRecord `json:"dirs"`
+	Files []File      `json:"files"`
 }
 
 // Encode writes the image's metadata (tree, files, spec — not file content)
 // as JSON to w. Together with the Spec, the JSON form is sufficient to
-// recreate the image bit-for-bit.
+// recreate the image bit-for-bit. For images too large to buffer as one
+// document, use the chunked stream (EncodeChunks / ImageBuilder) instead.
 func (img *Image) Encode(w io.Writer) error {
 	s := serializedImage{Spec: img.Spec, Files: img.Files}
-	s.Dirs = make([]serializedDir, len(img.Tree.Dirs))
+	s.Dirs = make([]DirRecord, len(img.Tree.Dirs))
 	for i, d := range img.Tree.Dirs {
-		s.Dirs[i] = serializedDir{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias}
+		s.Dirs[i] = DirRecord{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -47,39 +38,23 @@ func Decode(r io.Reader) (*Image, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("fsimage: decoding image: %w", err)
 	}
-	if len(s.Dirs) == 0 {
-		return nil, fmt.Errorf("fsimage: decoded image has no directories")
-	}
-	// Rebuild the tree by re-adding directories in ID order; this restores
-	// depth, byDepth indexes and subdir counts.
-	tree := namespace.GenerateTree(nil, 1, namespace.ShapeFlat)
-	for _, d := range s.Dirs[1:] {
-		if d.Parent < 0 || d.Parent >= tree.Len() {
-			return nil, fmt.Errorf("fsimage: directory %d has invalid parent %d", d.ID, d.Parent)
+	// Rebuild by re-adding directories then files in ID order; this restores
+	// depth, byDepth indexes, subdir counts, and per-directory file counters.
+	var asm assembler
+	for _, d := range s.Dirs {
+		if err := asm.addDir(d); err != nil {
+			return nil, err
 		}
-		id := tree.AddDir(d.Parent)
-		if id != d.ID {
-			return nil, fmt.Errorf("fsimage: directory IDs are not dense (got %d want %d)", id, d.ID)
-		}
-		tree.Dirs[id].Name = d.Name
-		tree.Dirs[id].Special = d.Special
-		tree.Dirs[id].Bias = d.Bias
 	}
-	// Restore root flags.
-	tree.Dirs[0].Name = s.Dirs[0].Name
-	tree.Dirs[0].Special = s.Dirs[0].Special
-	tree.Dirs[0].Bias = s.Dirs[0].Bias
-
-	img := New(tree)
-	img.Spec = s.Spec
 	for _, f := range s.Files {
-		id := img.AddFile(f.Name, f.Ext, f.Size, f.DirID, f.Depth)
-		_ = id
-		tree.Dirs[f.DirID].FileCount++
-		tree.Dirs[f.DirID].Bytes += f.Size
+		if err := asm.addFile(f); err != nil {
+			return nil, err
+		}
 	}
-	if err := img.Validate(); err != nil {
+	img, err := asm.finish()
+	if err != nil {
 		return nil, err
 	}
+	img.Spec = s.Spec
 	return img, nil
 }
