@@ -3,11 +3,11 @@
 GO ?= go
 
 # Micro-benchmarks tracked in the BENCH_<date>.json perf trajectory.
-MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|FilePlacement|ConstraintResolution|ImageGeneration|Materialize|Content|FindWorkload|SearchIndexing|LayoutScore)
+MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|FilePlacement|ConstraintResolution|ImageGeneration|Materialize|Content|FindWorkload|SearchIndexing|LayoutScore|StreamingPlanBuild|RetainedPlanBuild)
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check
+.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check mem-check
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,12 @@ dist-fault-check:
 	./impressions merge -plan work/plan.json -print-digest work/manifest-*.json > merged.digest; \
 	cmp single.digest merged.digest; diff -r single merged; \
 	echo "dist-fault-check: OK (killed worker resumed; digest and tree identical)"
+
+# Local mirror of the CI memory-bound job: a 1M-file streamed plan build
+# must hold peak live heap under its hard cap (see
+# TestStreamedPlanBuildMemoryBound).
+mem-check:
+	$(GO) test ./internal/distribute -run TestStreamedPlanBuildMemoryBound -v -timeout 15m
 
 lint:
 	$(GO) vet ./...

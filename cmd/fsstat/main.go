@@ -69,6 +69,7 @@ func run(args []string) error {
 
 func writeJSON(w *os.File, res *fsimage.ScanResult, topN int) error {
 	img := res.Image
+	st := img.Stats(fsimage.StatsConfig{SizeMaxExp: dataset.SizeMaxExp, DepthBins: dataset.DepthBins})
 	rep := jsonReport{
 		Files:        img.FileCount(),
 		Dirs:         img.DirCount(),
@@ -80,21 +81,21 @@ func writeJSON(w *os.File, res *fsimage.ScanResult, topN int) error {
 		BytesBySize:  map[string]float64{},
 		Extensions:   map[string]float64{},
 	}
-	sizeHist := img.FilesBySizeHistogram(dataset.SizeMaxExp)
+	sizeHist := st.FilesBySize()
 	for i, f := range sizeHist.Normalize() {
 		if f > 0 {
 			rep.FilesBySize[sizeHist.BinLabel(i)] = f
 		}
 	}
-	byteHist := img.BytesBySizeHistogram(dataset.SizeMaxExp)
+	byteHist := st.BytesBySize()
 	for i, f := range byteHist.Normalize() {
 		if f > 0 {
 			rep.BytesBySize[byteHist.BinLabel(i)] = f
 		}
 	}
-	rep.FilesByDepth = img.FilesByDepthHistogram(dataset.DepthBins).Normalize()
-	rep.DirsByDepth = img.DirsByDepthHistogram(dataset.DepthBins).Normalize()
-	for _, share := range img.TopExtensions(topN) {
+	rep.FilesByDepth = st.FilesByDepth().Normalize()
+	rep.DirsByDepth = st.DirsByDepth().Normalize()
+	for _, share := range st.TopExtensions(topN) {
 		rep.Extensions[share.Ext] = share.FileFrac
 	}
 	enc := json.NewEncoder(w)
@@ -104,6 +105,8 @@ func writeJSON(w *os.File, res *fsimage.ScanResult, topN int) error {
 
 func writeText(w *os.File, res *fsimage.ScanResult, topN int) {
 	img := res.Image
+	// One streaming pass feeds every distribution printed below.
+	st := img.Stats(fsimage.StatsConfig{SizeMaxExp: dataset.SizeMaxExp, DepthBins: dataset.DepthBins})
 	fmt.Fprintln(w, img.Summary())
 	fmt.Fprintf(w, "mean file size: %s\n", stats.FormatBytes(img.MeanFileSize()))
 	if res.Irregular > 0 {
@@ -112,7 +115,7 @@ func writeText(w *os.File, res *fsimage.ScanResult, topN int) {
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "\nfiles by size (power-of-two bins):")
-	sizeHist := img.FilesBySizeHistogram(dataset.SizeMaxExp)
+	sizeHist := st.FilesBySize()
 	for i, f := range sizeHist.Normalize() {
 		if f > 0.0005 {
 			fmt.Fprintf(tw, "  %s\t%.2f%%\n", sizeHist.BinLabel(i), f*100)
@@ -121,7 +124,7 @@ func writeText(w *os.File, res *fsimage.ScanResult, topN int) {
 	tw.Flush()
 
 	fmt.Fprintln(w, "\nbytes by containing file size:")
-	byteHist := img.BytesBySizeHistogram(dataset.SizeMaxExp)
+	byteHist := st.BytesBySize()
 	for i, f := range byteHist.Normalize() {
 		if f > 0.0005 {
 			fmt.Fprintf(tw, "  %s\t%.2f%%\n", byteHist.BinLabel(i), f*100)
@@ -130,7 +133,7 @@ func writeText(w *os.File, res *fsimage.ScanResult, topN int) {
 	tw.Flush()
 
 	fmt.Fprintln(w, "\nfiles by namespace depth:")
-	for depth, f := range img.FilesByDepthHistogram(dataset.DepthBins).Normalize() {
+	for depth, f := range st.FilesByDepth().Normalize() {
 		if f > 0.0005 {
 			fmt.Fprintf(tw, "  depth %d\t%.2f%%\n", depth, f*100)
 		}
@@ -138,7 +141,7 @@ func writeText(w *os.File, res *fsimage.ScanResult, topN int) {
 	tw.Flush()
 
 	fmt.Fprintln(w, "\ndirectories by namespace depth:")
-	for depth, f := range img.DirsByDepthHistogram(dataset.DepthBins).Normalize() {
+	for depth, f := range st.DirsByDepth().Normalize() {
 		if f > 0.0005 {
 			fmt.Fprintf(tw, "  depth %d\t%.2f%%\n", depth, f*100)
 		}
@@ -146,7 +149,7 @@ func writeText(w *os.File, res *fsimage.ScanResult, topN int) {
 	tw.Flush()
 
 	fmt.Fprintf(w, "\ntop %d extensions by count:\n", topN)
-	for _, share := range img.TopExtensions(topN) {
+	for _, share := range st.TopExtensions(topN) {
 		fmt.Fprintf(tw, "  %s\t%.2f%% of files\t%.2f%% of bytes\n", share.Ext, share.FileFrac*100, share.BytesFrac*100)
 	}
 	tw.Flush()

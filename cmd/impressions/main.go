@@ -35,10 +35,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"impressions/internal/content"
@@ -286,7 +288,12 @@ func runGenerate(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// runPlan resolves the metadata pass and writes the shard plan.
+// runPlan resolves the metadata pass and writes the shard plan. With
+// -stream it takes the generator-fused out-of-core path: records go from
+// the metadata pass straight into the chunk encoder, so the planner never
+// holds the image — at 10^7+ files that is the difference between O(chunk)
+// file records and gigabytes of retained metadata. The plan bytes are
+// identical either way.
 func runPlan(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("impressions plan", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -294,6 +301,8 @@ func runPlan(args []string, stdout, stderr io.Writer) error {
 	var (
 		shardsFlag = fs.Int("shards", 4, "number of subtree shards to partition the namespace into")
 		planFlag   = fs.String("plan", "", "file to write the JSON plan to (required)")
+		streamFlag = fs.Bool("stream", false, "stream records from the metadata pass into the plan file without retaining the image (O(chunk) file records; identical plan bytes)")
+		memFlag    = fs.Bool("mem", false, "report peak heap usage of the plan build")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -308,11 +317,24 @@ func runPlan(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := distribute.BuildPlan(cfg, *shardsFlag, 0)
-	if err != nil {
-		return err
+	var sampler *memSampler
+	if *memFlag {
+		sampler = startMemSampler()
 	}
-	if err := writeJSONFile(*planFlag, plan.Encode); err != nil {
+	var plan *distribute.Plan
+	if *streamFlag {
+		err = writeJSONFile(*planFlag, func(w io.Writer) error {
+			var serr error
+			plan, serr = distribute.StreamPlan(cfg, *shardsFlag, 0, w)
+			return serr
+		})
+	} else {
+		plan, err = distribute.BuildPlan(cfg, *shardsFlag, 0)
+		if err == nil {
+			err = writeJSONFile(*planFlag, plan.Encode)
+		}
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "plan: %d files, %d dirs, %d bytes across %d shards (fingerprint %s)\n",
@@ -321,10 +343,71 @@ func runPlan(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "  shard %d: %d dirs, %d files, %s (stream %s)\n",
 			s.Index, s.Dirs, s.Files, stats.FormatBytes(float64(s.Bytes)), s.StreamKey)
 	}
+	if sampler != nil {
+		peak, retained, total := sampler.stop()
+		fmt.Fprintf(stdout, "plan: peak heap %s (live %s retained after build), %s allocated in total\n",
+			stats.FormatBytes(float64(peak)), stats.FormatBytes(float64(retained)), stats.FormatBytes(float64(total)))
+	}
 	return nil
 }
 
-// runWorker executes one shard of a plan and writes its manifest.
+// memSampler tracks the process's peak heap while a build runs, for the
+// plan subcommand's -mem report.
+type memSampler struct {
+	baseline  uint64
+	baseAlloc uint64
+	peak      atomic.Uint64
+	quit      chan struct{}
+	done      chan struct{}
+}
+
+func startMemSampler() *memSampler {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &memSampler{baseline: ms.HeapAlloc, baseAlloc: ms.TotalAlloc, quit: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.quit:
+				return
+			case <-tick.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak.Load() {
+					s.peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// stop ends sampling and returns the peak heap above baseline, the live
+// heap retained now (after a final GC), and the bytes allocated in total.
+func (s *memSampler) stop() (peak, retained, total uint64) {
+	close(s.quit)
+	<-s.done
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.peak.Load() {
+		s.peak.Store(ms.HeapAlloc)
+	}
+	peak = s.peak.Load() - min(s.peak.Load(), s.baseline)
+	retained = ms.HeapAlloc - min(ms.HeapAlloc, s.baseline)
+	total = ms.TotalAlloc - s.baseAlloc
+	return peak, retained, total
+}
+
+// runWorker executes one shard of a plan and writes its manifest. The plan
+// is decoded through the shard-pruning path: every chunk is still
+// integrity-verified, but only this shard's file records are retained, so a
+// worker's memory is bounded by its shard (plus the compact directory
+// tree), never by the image.
 func runWorker(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("impressions worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -342,11 +425,11 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 	if *planFlag == "" || *shardFlag < 0 || *outFlag == "" || *manifestFlag == "" {
 		return usagef("worker: -plan, -shard, -out and -manifest are all required")
 	}
-	open, err := distribute.LoadPlan(*planFlag)
+	view, err := distribute.LoadPlanShard(*planFlag, *shardFlag)
 	if err != nil {
 		return err
 	}
-	m, err := distribute.ExecuteShard(open, *shardFlag, *outFlag, distribute.WorkerOptions{MetadataOnly: *metadataOnly, Parallelism: *jobs})
+	m, err := distribute.ExecuteShardView(view, *outFlag, distribute.WorkerOptions{MetadataOnly: *metadataOnly, Parallelism: *jobs})
 	if err != nil {
 		return err
 	}

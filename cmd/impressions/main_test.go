@@ -86,6 +86,37 @@ func TestRunUserSpecifiedSizeModel(t *testing.T) {
 	}
 }
 
+// TestPlanStreamWritesIdenticalPlan: `plan -stream` (the generator-fused
+// O(chunk) path) must write the byte-identical plan file the retained path
+// writes, and -mem must report the build's memory use.
+func TestPlanStreamWritesIdenticalPlan(t *testing.T) {
+	dir := t.TempDir()
+	retained := filepath.Join(dir, "retained.json")
+	streamed := filepath.Join(dir, "streamed.json")
+	args := []string{"plan", "-files", "400", "-dirs", "80", "-seed", "9", "-shards", "3"}
+	if err := run(append(args, "-plan", retained), io.Discard, io.Discard); err != nil {
+		t.Fatalf("retained plan: %v", err)
+	}
+	var out bytes.Buffer
+	if err := run(append(args, "-stream", "-mem", "-plan", streamed), &out, io.Discard); err != nil {
+		t.Fatalf("streamed plan: %v", err)
+	}
+	a, err := os.ReadFile(retained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("plan -stream wrote different bytes than the retained path")
+	}
+	if !strings.Contains(out.String(), "peak heap") {
+		t.Errorf("-mem did not report peak heap:\n%s", out.String())
+	}
+}
+
 // TestMainExitCodes is the exit-status audit: parse errors must never leave
 // the process with status 0. Bad flags and usage errors exit 2, runtime
 // failures exit 1, success and -h exit 0 — on every subcommand.

@@ -59,6 +59,17 @@ type Report = fsimage.Report
 // MaterializeOptions controls writing an image to a real file system.
 type MaterializeOptions = fsimage.MaterializeOptions
 
+// RecordSink consumes an image's metadata stream (directories in ID order,
+// then files in ID order) — the out-of-core alternative to retaining an
+// Image. See fsimage for the provided sinks: ImageSink (retain),
+// ChunkEncoder (serialize), DigestBuilder (canonical digest), ImageStats
+// (histograms), MaterializeSink (write to disk).
+type RecordSink = fsimage.RecordSink
+
+// RecordSource is anything that can replay an image's metadata records into
+// a RecordSink; *Image implements it.
+type RecordSource = fsimage.RecordSource
+
 // Accuracy holds per-parameter agreement between a generated image and the
 // desired dataset curves (the Table 3 metrics).
 type Accuracy = core.Accuracy
@@ -89,6 +100,18 @@ const (
 // Generate validates the configuration, fills in Table 2 defaults for any
 // unspecified parameter, and generates an image.
 func Generate(cfg Config) (*Result, error) { return core.GenerateImage(cfg) }
+
+// GenerateStream generates an image and streams its metadata records into
+// sink instead of retaining an Image, so memory stays bounded by what the
+// sink keeps — the path for images too large to hold (10^8 files and up).
+// The records are identical to Generate's for the same configuration.
+func GenerateStream(cfg Config, sink RecordSink) (Report, error) {
+	gen, err := core.NewGenerator(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return gen.GenerateStream(sink)
+}
 
 // NewGenerator returns a reusable generator for the configuration. Successive
 // Generate calls with the same configuration produce identical images.

@@ -59,25 +59,33 @@ func (a Accuracy) AsMap() map[string]float64 {
 func MeasureAccuracy(img *fsimage.Image, ds *dataset.Dataset, useSpecial bool) Accuracy {
 	var acc Accuracy
 
+	// One streaming pass accumulates every distribution the eight metrics
+	// read; the per-metric calls below are views over it.
+	st := img.Stats(fsimage.StatsConfig{
+		SizeMaxExp: dataset.SizeMaxExp,
+		DepthBins:  dataset.DepthBins,
+		CountBins:  65,
+	})
+
 	// Directories by namespace depth. The generative model's depth profile
 	// depends on tree size, so the desired curve is produced at the same
 	// directory count as the image (Figure 2(a)).
-	genDirs := img.DirsByDepthHistogram(dataset.DepthBins).Normalize()
+	genDirs := st.DirsByDepth().Normalize()
 	desDirs := ds.DirsByDepthFor(img.DirCount()).Normalize()
 	acc.DirsWithDepth = mustMDCC(genDirs, desDirs)
 
 	// Directories by subdirectory count, also at matching scale (Figure 2(b)).
-	genSub := img.DirsBySubdirHistogram(65).Normalize()
+	genSub := st.DirsBySubdir().Normalize()
 	desSub := ds.DirsBySubdirCountFor(img.DirCount()).Normalize()
 	acc.DirsWithSubdirs = mustMDCC(genSub, desSub)
 
 	// Files by size.
-	genSize := img.FilesBySizeHistogram(dataset.SizeMaxExp).Normalize()
+	genSize := st.FilesBySize().Normalize()
 	desSize := ds.FilesBySize().Normalize()
 	acc.FileSizeByCount = mustMDCC(genSize, desSize)
 
 	// Bytes by containing file size.
-	genBytes := img.BytesBySizeHistogram(dataset.SizeMaxExp).Normalize()
+	genBytes := st.BytesBySize().Normalize()
 	desBytes := ds.BytesByFileSize().Normalize()
 	acc.FileSizeByBytes = mustMDCC(genBytes, desBytes)
 
@@ -85,12 +93,12 @@ func MeasureAccuracy(img *fsimage.Image, ds *dataset.Dataset, useSpecial bool) A
 	// "others" bucket is recomputed for the image).
 	names := ds.ExtensionsByCount().Names()
 	named := names[:len(names)-1] // drop "others"; ExtensionFractions appends it
-	genExt := img.ExtensionFractions(named)
+	genExt := st.ExtensionFractions(named)
 	desExt := ds.ExtensionsByCount().Probs()
 	acc.ExtensionPopularity = mustMDCC(genExt, desExt)
 
 	// Files by namespace depth (against the plain or special desired curve).
-	genDepth := img.FilesByDepthHistogram(dataset.DepthBins).Normalize()
+	genDepth := st.FilesByDepth().Normalize()
 	if useSpecial {
 		acc.FilesWithDepthSpec = mustMDCC(genDepth, ds.FilesByDepthWithSpecial().Normalize())
 		acc.FilesWithDepth = mustMDCC(genDepth, ds.FilesByDepth().Normalize())
@@ -100,7 +108,7 @@ func MeasureAccuracy(img *fsimage.Image, ds *dataset.Dataset, useSpecial bool) A
 	}
 
 	// Bytes with depth: average difference in mean bytes per file (MB).
-	genMean := img.MeanBytesByDepth(dataset.DepthBins)
+	genMean := st.MeanBytesByDepth()
 	desMean := ds.MeanBytesByDepth()
 	// Only compare depths where the image actually has files; empty depths
 	// would otherwise dominate the difference.

@@ -48,77 +48,45 @@ func NewGenerator(cfg Config) (*Generator, error) {
 func (g *Generator) Config() Config { return g.cfg }
 
 // Generate runs the full pipeline and returns the generated image, report,
-// and optional simulated disk.
+// and optional simulated disk. It is the retained-sink consumer of the
+// columnar metadata pass (ResolveMetadata): the records are materialized
+// into an in-memory image, which phase 5 and the library API then use.
+// Pipelines that must not hold the image use GenerateStream instead.
 func (g *Generator) Generate() (*Result, error) {
 	cfg := g.cfg
-	rng := stats.NewRNG(cfg.Seed)
-	phases := map[string]float64{}
 	res := &Result{}
 
-	// Phase 1: directory structure (namespace skeleton), built with
-	// deterministic speculative attachment: identical trees at every
-	// parallelism level.
-	start := time.Now()
-	tree := namespace.GenerateTreeParallel(rng.Fork("namespace"), cfg.NumDirs, cfg.TreeShape,
-		effectiveParallelism(cfg.Parallelism))
-	if cfg.UseSpecialDirectories {
-		tree.MarkSpecial(cfg.SpecialDirectories)
-	}
-	phases["directory structure"] = seconds(start)
-
-	// Phase 2: file sizes under the sum constraint (§3.4).
-	start = time.Now()
-	sizes, convergence, err := g.resolveSizes(rng.Fork("sizes"))
+	m, err := g.ResolveMetadata()
 	if err != nil {
 		return nil, err
 	}
-	phases["file sizes distribution"] = seconds(start)
+	// Materializing the retained image is part of the placement phase's
+	// accounting (it is where the file records spring into existence).
+	start := time.Now()
+	img := m.Image()
+	m.phases["file and bytes with depth"] += seconds(start)
 
-	// Phase 3: extensions from the percentile table (sharded workers).
-	start = time.Now()
-	exts := g.assignExtensions(rng.Fork("extensions"), len(sizes))
-	phases["popular extensions"] = seconds(start)
-
-	// Phase 4: file depths and parent directories (multiplicative model),
-	// run as the two-pass sharded placement pipeline.
-	start = time.Now()
-	img := fsimage.New(tree)
-	g.placeFiles(img, tree, sizes, exts, rng)
-	phases["file and bytes with depth"] = seconds(start)
-
-	// Phase 5: optional on-disk layout simulation (§3.7).
+	// Phase 5: optional on-disk layout simulation (§3.7). The disk stream is
+	// forked from a fresh master RNG exactly as the metadata streams are, so
+	// the refactor onto ResolveMetadata leaves every draw unchanged.
 	achievedLayout := 1.0
 	if cfg.SimulateDisk {
 		start = time.Now()
-		d, score, derr := g.simulateDisk(img, rng.Fork("disk"))
+		d, score, derr := g.simulateDisk(img, stats.NewRNG(cfg.Seed).Fork("disk"))
 		if derr != nil {
 			return nil, derr
 		}
 		res.Disk = d
 		achievedLayout = score
-		phases["on-disk layout"] = seconds(start)
+		m.phases["on-disk layout"] = seconds(start)
 	}
 
-	img.Spec = g.buildSpec()
 	if err := img.Validate(); err != nil {
 		return nil, fmt.Errorf("core: generated image failed validation: %w", err)
 	}
 
-	report := fsimage.Report{
-		Spec:                img.Spec,
-		GeneratedAt:         time.Now(),
-		ActualFiles:         img.FileCount(),
-		ActualDirs:          img.DirCount(),
-		ActualBytes:         img.TotalBytes(),
-		AchievedLayoutScore: achievedLayout,
-		Oversamples:         convergence.Oversamples,
-		PhaseTimes:          phases,
-	}
-	if cfg.FSSizeBytes > 0 {
-		report.SumError = math.Abs(float64(img.TotalBytes()-cfg.FSSizeBytes)) / float64(cfg.FSSizeBytes)
-	}
 	res.Image = img
-	res.Report = report
+	res.Report = m.report(cfg, achievedLayout)
 	return res, nil
 }
 
@@ -200,38 +168,44 @@ func (g *Generator) assignExtensions(rng *stats.RNG, n int) []string {
 // stream are functions of the seed and stable shard/depth keys — never of
 // worker count or scheduling — so any parallelism level produces the
 // identical image.
-func (g *Generator) placeFiles(img *fsimage.Image, tree *namespace.Tree, sizes []float64, exts []string, rng *stats.RNG) {
+//
+// placeFiles returns the parent directory column; it emits no records — a
+// file's record (name, depth, extension) is derived from the columns at
+// consumption time, whether that is the retained Image or a record stream.
+func (g *Generator) placeFiles(tree *namespace.Tree, sizes []float64, rng *stats.RNG) []int32 {
 	placer := namespace.NewPlacer(tree, g.placerConfig(tree), rng.Fork("placement"))
 	workers := effectiveParallelism(g.cfg.Parallelism)
 	n := len(sizes)
 
-	// Pass 1: special-directory draws and depth choices, sharded.
-	depths := make([]int, n)
-	parents := make([]int, n) // parent dir ID; -1 until assigned
+	// Pass 1: special-directory draws and depth choices, sharded. The depth
+	// column is transient — a placed file's depth is its parent's depth + 1,
+	// so only the parent column survives the pass.
+	depths := make([]int32, n)
+	parents := make([]int32, n) // parent dir ID; -1 until assigned
 	depthStream := rng.Fork("placement/depth")
 	parallel.Run(workers, parallel.Shards(n), func(s int) {
 		srng := depthStream.SplitN(uint64(s))
 		lo, hi := parallel.Bounds(n, s)
 		for i := lo; i < hi; i++ {
 			if dirID, ok := placer.ChooseSpecial(srng); ok {
-				parents[i] = dirID
-				depths[i] = placer.FileDepthAt(dirID)
+				parents[i] = int32(dirID)
+				depths[i] = int32(placer.FileDepthAt(dirID))
 				continue
 			}
 			parents[i] = -1
-			depths[i] = placer.ChooseDepth(int64(sizes[i]), srng)
+			depths[i] = int32(placer.ChooseDepth(int64(sizes[i]), srng))
 		}
 	})
 
 	// Commit special placements before the parent pass so every depth worker
 	// starts from the same directory counters.
-	byDepth := make([][]int, placer.MaxFileDepth()+1)
+	byDepth := make([][]int32, placer.MaxFileDepth()+1)
 	for i := 0; i < n; i++ {
 		if parents[i] >= 0 {
-			placer.Commit(parents[i], int64(sizes[i]))
+			placer.Commit(int(parents[i]), int64(sizes[i]))
 			continue
 		}
-		byDepth[depths[i]] = append(byDepth[depths[i]], i)
+		byDepth[depths[i]] = append(byDepth[depths[i]], int32(i))
 	}
 
 	// Pass 2: parent choice, one worker per depth level. A depth-d worker
@@ -247,17 +221,10 @@ func (g *Generator) placeFiles(img *fsimage.Image, tree *namespace.Tree, sizes [
 		for _, i := range files {
 			dirID := placer.ChooseParentAt(d-1, drng)
 			placer.Commit(dirID, int64(sizes[i]))
-			parents[i] = dirID
-			depths[i] = placer.FileDepthAt(dirID)
+			parents[i] = int32(dirID)
 		}
 	})
-
-	// Merge: append files in index order so the image is identical no matter
-	// which worker produced each placement.
-	for i := 0; i < n; i++ {
-		name := fsimage.MakeFileName(i, exts[i])
-		img.AddFile(name, normalizeExt(exts[i]), int64(sizes[i]), parents[i], depths[i])
-	}
+	return parents
 }
 
 func randomExtension(rng *stats.RNG) string {

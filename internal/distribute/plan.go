@@ -1,17 +1,25 @@
 // Package distribute implements multi-node generation of file-system
 // images as a shard-plan / worker / merge pipeline:
 //
-//   - BuildPlan runs the (cheap) metadata pass once — directory skeleton,
-//     constrained file sizes, extensions, placement — and partitions the
-//     namespace into balanced subtree shards, each carrying its stable RNG
-//     stream key. The Plan serializes to JSON with the image metadata split
-//     into hash-guarded chunks, so encoding and decoding buffer O(chunk)
-//     bytes, never the whole image's JSON.
+//   - BuildPlan / StreamPlan run the (cheap) metadata pass once — directory
+//     skeleton, constrained file sizes, extensions, placement — and
+//     partition the namespace into balanced subtree shards, each carrying
+//     its stable RNG stream key. The partition and per-shard expectations
+//     are computed from the compact namespace tree and streaming per-shard
+//     accumulators, never from a retained file slice. A plan serializes as
+//     one JSON document whose image metadata streams through hash-guarded
+//     chunks, so encoding and decoding buffer O(chunk) bytes; StreamPlan
+//     fuses generation and encoding so the producer side too holds O(chunk)
+//     file records (BuildPlan additionally retains the image for in-process
+//     pipelines).
 //   - ExecuteShard runs one shard in total isolation: it needs only the plan
 //     file, materializes the shard's directories and files (the expensive
 //     content pass), and emits a Manifest recording per-file content hashes.
 //     Workers share nothing, so "multi-node" is any shared-nothing fleet:
-//     processes, containers, CI jobs, or machines.
+//     processes, containers, CI jobs, or machines. A worker decodes the plan
+//     through the shard-pruning path (LoadPlanShard), retaining only its own
+//     shard's file records — its memory is bounded by its shard, not the
+//     image.
 //   - Merge stitches the manifests back into a single image + report,
 //     verifying count, byte, and hash invariants, and computes the canonical
 //     image digest. Audit is the fault-tolerant entry point: it grades an
@@ -21,9 +29,10 @@
 // The headline invariant, enforced by tests and CI: for a fixed seed,
 // plan → K workers → merge produces an image byte-identical to a
 // single-process run, for any K — even across worker failures, retries and
-// resumed runs. This holds because every RNG stream is a pure function of
-// the master seed and a stable key (see stats.StreamKey), never of process
-// or worker identity, and because a shard's output is only trusted once its
+// resumed runs, and regardless of whether the plan was built retained or
+// streamed. This holds because every RNG stream is a pure function of the
+// master seed and a stable key (see stats.StreamKey), never of process or
+// worker identity, and because a shard's output is only trusted once its
 // sealed manifest verifies against the plan fingerprint.
 package distribute
 
@@ -44,8 +53,10 @@ import (
 
 // FormatVersion is the plan/manifest wire-format version. Workers refuse
 // plans from a different major format. Version 2 replaced the single
-// embedded image blob with the chunked metadata stream.
-const FormatVersion = 2
+// embedded image blob with the chunked metadata stream; version 3 moved the
+// stream's chunk count and chain hash into a trailer, so a fused
+// generate-and-encode pass can write a plan without ever holding the image.
+const FormatVersion = 3
 
 // ShardPlan describes one shard of the partitioned namespace.
 type ShardPlan struct {
@@ -75,12 +86,14 @@ type ShardPlan struct {
 //
 // On the wire a plan is one JSON document of the form
 //
-//	{"header": {...this struct...}, "chunks": [ {...}, {...}, ... ]}
+//	{"header": {...this struct...}, "chunks": [...], "trailer": {...}}
 //
 // where the chunks stream the image metadata (fsimage.Chunk) in fixed
-// order. Both Encode and DecodePlan process the chunks one at a time, so
-// peak memory for the serialized metadata is O(chunk) regardless of image
-// size; the header's ImageSHA256 chains the per-chunk hashes together.
+// order and the trailer seals the stream (chunk count + chain hash — known
+// only after the last chunk, which is what lets a fused generation pass
+// write the header first and stream the rest). Encode, StreamPlan, and
+// DecodePlan all process the chunks one at a time, so peak memory for the
+// serialized metadata is O(chunk) regardless of image size.
 type Plan struct {
 	FormatVersion int    `json:"format_version"`
 	Seed          int64  `json:"seed"`
@@ -90,22 +103,31 @@ type Plan struct {
 	Files      int    `json:"files"`
 	Dirs       int    `json:"dirs"`
 	Bytes      int64  `json:"bytes"`
-	// Spec is the image's reproducibility spec (it used to travel inside the
-	// embedded image blob; the chunk stream carries only records).
+	// Spec is the image's reproducibility spec.
 	Spec fsimage.Spec `json:"spec"`
 	// ChunkSize is the metadata records-per-chunk the stream was sliced by.
 	ChunkSize int `json:"chunk_size"`
-	// Chunks is the number of metadata chunks in the stream.
-	Chunks int `json:"chunks"`
+	// Chunks is the number of metadata chunks in the stream. It lives in the
+	// wire trailer, not the header: the producer knows it only after the
+	// last chunk is sealed.
+	Chunks int `json:"-"`
 	// ImageSHA256 chains the per-chunk record hashes
-	// (fsimage.ChainChunkHashes), guarding the whole metadata stream.
-	ImageSHA256 string      `json:"image_sha256"`
+	// (fsimage.ChainChunkHashes), guarding the whole metadata stream. Like
+	// Chunks it is sealed by the wire trailer.
+	ImageSHA256 string      `json:"-"`
 	Shards      []ShardPlan `json:"shards"`
 
-	// img is the in-memory image metadata: populated by BuildPlan on the
+	// img is the retained image metadata: populated by BuildPlan on the
 	// producing side and rebuilt chunk by chunk by DecodePlan on the
-	// consuming side. It never appears in the header JSON.
+	// consuming side. StreamPlan leaves it nil — the streamed producer never
+	// holds the image. It never appears in the wire JSON.
 	img *fsimage.Image
+}
+
+// planTrailer seals a plan document's chunk stream.
+type planTrailer struct {
+	Chunks      int    `json:"chunks"`
+	ImageSHA256 string `json:"image_sha256"`
 }
 
 // contentStreamKey is the stream key every shard records for the content
@@ -115,19 +137,12 @@ func contentStreamKey() stats.StreamKey {
 	return stats.StreamKey{stats.ForkStep(fsimage.MaterializeStreamLabel)}
 }
 
-// BuildPlan runs the metadata pass for cfg and partitions the result into
-// exactly maxShards balanced subtree shards (oversized subtrees are cut at
-// deeper levels, so one worker per shard holds even when the generative
-// model concentrates the namespace under a few top-level directories).
-// chunkSize sets the metadata records per serialized chunk; 0 selects
-// fsimage.DefaultChunkSize. Disk-layout simulation is always skipped: plans
-// describe images, and the expensive content pass is the workers' job.
-func BuildPlan(cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
+// resolvePlanMetadata validates cfg and runs the columnar metadata pass
+// with disk simulation forced off (plans describe images; the expensive
+// content pass is the workers' job).
+func resolvePlanMetadata(cfg core.Config, maxShards int) (*core.Metadata, error) {
 	if maxShards < 1 {
 		return nil, fmt.Errorf("distribute: shard count %d < 1", maxShards)
-	}
-	if chunkSize <= 0 {
-		chunkSize = fsimage.DefaultChunkSize
 	}
 	cfg.SimulateDisk = false
 	cfg.LayoutScore = 1.0
@@ -135,79 +150,140 @@ func BuildPlan(cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distribute: %w", err)
 	}
-	res, err := gen.Generate()
+	m, err := gen.ResolveMetadata()
 	if err != nil {
 		return nil, fmt.Errorf("distribute: metadata pass: %w", err)
 	}
-	img := res.Image
+	return m, nil
+}
 
-	part := namespace.PartitionBalanced(img.Tree, maxShards, fsimage.ShardWeight)
-	shards := make([]ShardPlan, part.Len())
-	fileShards := make([]int, part.Len())
-	byteShards := make([]int64, part.Len())
-	for _, f := range img.Files {
-		s := part.ShardOf(f.DirID)
-		fileShards[s]++
-		byteShards[s] += f.Size
+// planScaffold partitions the resolved metadata and assembles the plan
+// header: every field except the trailer-sealed chunk count and chain hash.
+// The partition is computed from the compact tree, and the per-shard
+// file/byte expectations from a streaming accumulator over the placement
+// columns — no file records are materialized here.
+func planScaffold(m *core.Metadata, maxShards, chunkSize int) (*Plan, *namespace.Partition) {
+	if chunkSize <= 0 {
+		chunkSize = fsimage.DefaultChunkSize
 	}
+	part := namespace.PartitionBalanced(m.Tree(), maxShards, fsimage.ShardWeight)
+	acc := namespace.NewShardAccumulator(part)
+	m.EachPlacement(func(_, dirID int, size int64) { acc.Add(dirID, size) })
 	key := contentStreamKey().String()
+	shards := make([]ShardPlan, part.Len())
 	for s := range shards {
 		shards[s] = ShardPlan{
 			Index:     s,
 			StreamKey: key,
-			Roots:     part.ShardRoots(img.Tree, s),
+			Roots:     part.ShardRoots(m.Tree(), s),
 			Dirs:      len(part.Shards[s]),
-			Files:     fileShards[s],
-			Bytes:     byteShards[s],
+			Files:     acc.Files(s),
+			Bytes:     acc.Bytes(s),
 		}
 	}
+	spec := m.Spec()
+	return &Plan{
+		FormatVersion: FormatVersion,
+		Seed:          spec.Seed,
+		ContentKind:   spec.ContentKind,
+		DigestAlgo:    fsimage.DigestVersion,
+		Files:         m.FileCount(),
+		Dirs:          m.DirCount(),
+		Bytes:         m.TotalBytes(),
+		Spec:          spec,
+		ChunkSize:     chunkSize,
+		Shards:        shards,
+	}, part
+}
+
+// BuildPlan runs the metadata pass for cfg and partitions the result into
+// exactly maxShards balanced subtree shards (oversized subtrees are cut at
+// deeper levels, so one worker per shard holds even when the generative
+// model concentrates the namespace under a few top-level directories).
+// chunkSize sets the metadata records per serialized chunk; 0 selects
+// fsimage.DefaultChunkSize. The returned plan retains the image, so it can
+// be Opened and executed in-process without a decode round trip; pipelines
+// that only need the plan file use StreamPlan and never hold the image.
+func BuildPlan(cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
+	m, err := resolvePlanMetadata(cfg, maxShards)
+	if err != nil {
+		return nil, err
+	}
+	p, _ := planScaffold(m, maxShards, chunkSize)
+	p.img = m.Image()
 
 	// One streaming pass over the metadata seals the chunk boundaries and
 	// the whole-image chain hash without ever buffering the chunks' JSON.
-	chain := fsimage.NewChunkHashChain()
-	chunks := 0
-	if err := fsimage.EncodeChunks(img, chunkSize, func(c *fsimage.Chunk) error {
-		chain.Add(c.SHA256)
-		chunks++
-		return nil
-	}); err != nil {
+	enc := fsimage.NewChunkEncoder(p.ChunkSize, func(*fsimage.Chunk) error { return nil })
+	if err := p.img.StreamRecords(enc); err != nil {
 		return nil, fmt.Errorf("distribute: hashing metadata chunks: %w", err)
 	}
-	return &Plan{
-		FormatVersion: FormatVersion,
-		Seed:          img.Spec.Seed,
-		ContentKind:   img.Spec.ContentKind,
-		DigestAlgo:    fsimage.DigestVersion,
-		Files:         img.FileCount(),
-		Dirs:          img.DirCount(),
-		Bytes:         img.TotalBytes(),
-		Spec:          img.Spec,
-		ChunkSize:     chunkSize,
-		Chunks:        chunks,
-		ImageSHA256:   chain.Sum(),
-		Shards:        shards,
-		img:           img,
-	}, nil
+	if err := enc.Close(); err != nil {
+		return nil, fmt.Errorf("distribute: hashing metadata chunks: %w", err)
+	}
+	p.Chunks = enc.Chunks()
+	p.ImageSHA256 = enc.ChainHash()
+	return p, nil
 }
 
-// Encode writes the plan as JSON: the header object first, then the
-// metadata chunks streamed one at a time. Peak buffering is one chunk.
+// StreamPlan is the generator-fused planner: it resolves the metadata pass,
+// partitions the namespace, and writes the complete plan document to w in
+// one streaming pass — spec → metadata columns → chunk encoder — holding
+// O(chunk) live file records and never an image. The plan bytes are
+// byte-identical to BuildPlan(cfg, ...).Encode for the same inputs, so
+// manifests produced against either are interchangeable. The returned plan
+// is sealed (fingerprintable) but retains no image; Open it via a decode
+// (LoadPlan / LoadPlanShard) if execution state is needed.
+func StreamPlan(cfg core.Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
+	m, err := resolvePlanMetadata(cfg, maxShards)
+	if err != nil {
+		return nil, err
+	}
+	p, _ := planScaffold(m, maxShards, chunkSize)
+	chunks, chain, err := p.encodeDocument(w, m.StreamRecords)
+	if err != nil {
+		return nil, err
+	}
+	p.Chunks = chunks
+	p.ImageSHA256 = chain
+	return p, nil
+}
+
+// Encode writes the retained plan as its JSON document: header, metadata
+// chunks streamed one at a time, sealing trailer. Peak buffering is one
+// chunk.
 func (p *Plan) Encode(w io.Writer) error {
 	if p.img == nil {
 		return fmt.Errorf("distribute: plan holds no image metadata to encode")
 	}
+	chunks, chain, err := p.encodeDocument(w, p.img.StreamRecords)
+	if err != nil {
+		return err
+	}
+	// Guard against the image having been mutated after BuildPlan sealed
+	// the plan: the streamed chunks must chain to the recorded hash.
+	if chain != p.ImageSHA256 || chunks != p.Chunks {
+		return fmt.Errorf("distribute: plan metadata changed since it was sealed (chain %s over %d chunks, plan says %s over %d)",
+			chain, chunks, p.ImageSHA256, p.Chunks)
+	}
+	return nil
+}
+
+// encodeDocument writes the plan document around a record stream: the
+// header object, then every record chunked and streamed by the given
+// source, then the sealing trailer. It returns the sealed chunk count and
+// chain hash.
+func (p *Plan) encodeDocument(w io.Writer, stream func(fsimage.RecordSink) error) (int, string, error) {
 	bw := bufio.NewWriterSize(w, 64*1024)
 	header, err := json.Marshal(p)
 	if err != nil {
-		return fmt.Errorf("distribute: encoding plan header: %w", err)
+		return 0, "", fmt.Errorf("distribute: encoding plan header: %w", err)
 	}
 	if _, err := fmt.Fprintf(bw, "{\"header\":%s,\"chunks\":[", header); err != nil {
-		return fmt.Errorf("distribute: encoding plan: %w", err)
+		return 0, "", fmt.Errorf("distribute: encoding plan: %w", err)
 	}
-	chain := fsimage.NewChunkHashChain()
 	first := true
-	err = fsimage.EncodeChunks(p.img, p.ChunkSize, func(c *fsimage.Chunk) error {
-		chain.Add(c.SHA256)
+	enc := fsimage.NewChunkEncoder(p.ChunkSize, func(c *fsimage.Chunk) error {
 		raw, err := json.Marshal(c)
 		if err != nil {
 			return fmt.Errorf("encoding metadata chunk %d: %w", c.Index, err)
@@ -218,26 +294,26 @@ func (p *Plan) Encode(w io.Writer) error {
 			}
 		}
 		first = false
-		if _, err := bw.Write(raw); err != nil {
-			return err
-		}
-		return nil
+		_, err = bw.Write(raw)
+		return err
 	})
+	if err := stream(enc); err != nil {
+		return 0, "", fmt.Errorf("distribute: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return 0, "", fmt.Errorf("distribute: %w", err)
+	}
+	trailer, err := json.Marshal(planTrailer{Chunks: enc.Chunks(), ImageSHA256: enc.ChainHash()})
 	if err != nil {
-		return fmt.Errorf("distribute: %w", err)
+		return 0, "", fmt.Errorf("distribute: encoding plan trailer: %w", err)
 	}
-	// Guard against the image having been mutated after BuildPlan sealed
-	// the header: the streamed chunks must chain to the recorded hash.
-	if got := chain.Sum(); got != p.ImageSHA256 {
-		return fmt.Errorf("distribute: plan metadata changed since the header was sealed (chain %s, header says %s)", got, p.ImageSHA256)
-	}
-	if _, err := bw.WriteString("]}\n"); err != nil {
-		return fmt.Errorf("distribute: encoding plan: %w", err)
+	if _, err := fmt.Fprintf(bw, "],\"trailer\":%s}\n", trailer); err != nil {
+		return 0, "", fmt.Errorf("distribute: encoding plan: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("distribute: encoding plan: %w", err)
+		return 0, "", fmt.Errorf("distribute: encoding plan: %w", err)
 	}
-	return nil
+	return enc.Chunks(), enc.ChainHash(), nil
 }
 
 // expectDelim reads one JSON token and requires it to be the given
@@ -253,11 +329,13 @@ func expectDelim(dec *json.Decoder, want rune, where string) error {
 	return nil
 }
 
-// DecodePlan reads a plan previously written by Encode, verifying each
-// metadata chunk's integrity hash and rebuilding the image incrementally —
-// the serialized metadata is never held in memory whole. Open validates the
-// decoded plan's shard expectations and unpacks the partition.
-func DecodePlan(r io.Reader) (*Plan, error) {
+// decodePlanStream reads a plan document from r, verifying each metadata
+// chunk's integrity hash and replaying the verified records into the sink
+// returned by open (called once, after the header is decoded and
+// validated). The chunk chain is verified against the sealing trailer. This
+// is the single wire reader behind both the retained DecodePlan and the
+// shard-pruning DecodePlanShard.
+func decodePlanStream(r io.Reader, open func(*Plan) (fsimage.RecordSink, error)) (*Plan, error) {
 	dec := json.NewDecoder(bufio.NewReaderSize(r, 64*1024))
 	if err := expectDelim(dec, '{', "document"); err != nil {
 		return nil, err
@@ -276,6 +354,10 @@ func DecodePlan(r io.Reader) (*Plan, error) {
 	if p.FormatVersion != FormatVersion {
 		return nil, fmt.Errorf("distribute: plan format v%d, this build speaks v%d", p.FormatVersion, FormatVersion)
 	}
+	sink, err := open(&p)
+	if err != nil {
+		return nil, err
+	}
 	tok, err = dec.Token()
 	if err != nil {
 		return nil, fmt.Errorf("distribute: decoding plan: %w", err)
@@ -286,35 +368,66 @@ func DecodePlan(r io.Reader) (*Plan, error) {
 	if err := expectDelim(dec, '[', "chunk stream"); err != nil {
 		return nil, err
 	}
-	builder := fsimage.NewImageBuilder(p.Spec)
+	cdec := fsimage.NewChunkDecoder(sink)
 	var c fsimage.Chunk
 	for dec.More() {
 		c = fsimage.Chunk{}
 		if err := dec.Decode(&c); err != nil {
-			return nil, fmt.Errorf("distribute: decoding metadata chunk %d: %w", builder.Chunks(), err)
+			return nil, fmt.Errorf("distribute: decoding metadata chunk %d: %w", cdec.Chunks(), err)
 		}
-		if err := builder.AddChunk(&c); err != nil {
+		if err := cdec.AddChunk(&c); err != nil {
 			return nil, fmt.Errorf("distribute: %w", err)
 		}
 	}
 	if err := expectDelim(dec, ']', "chunk stream"); err != nil {
 		return nil, err
 	}
+	tok, err = dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("distribute: decoding plan trailer: %w", err)
+	}
+	if key, ok := tok.(string); !ok || key != "trailer" {
+		return nil, fmt.Errorf("distribute: plan chunks are not followed by a sealing trailer (got %v) — truncated?", tok)
+	}
+	var tr planTrailer
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("distribute: decoding plan trailer: %w", err)
+	}
 	if err := expectDelim(dec, '}', "document"); err != nil {
 		return nil, err
 	}
-	if builder.Chunks() != p.Chunks {
-		return nil, fmt.Errorf("distribute: plan promises %d metadata chunks, stream carried %d — truncated?", p.Chunks, builder.Chunks())
+	if cdec.Chunks() != tr.Chunks {
+		return nil, fmt.Errorf("distribute: plan trailer promises %d metadata chunks, stream carried %d — truncated?", tr.Chunks, cdec.Chunks())
 	}
-	if got := builder.ChainHash(); got != p.ImageSHA256 {
-		return nil, fmt.Errorf("distribute: embedded image hash mismatch: plan says %s, chunks chain to %s", p.ImageSHA256, got)
+	if got := cdec.ChainHash(); got != tr.ImageSHA256 {
+		return nil, fmt.Errorf("distribute: embedded image hash mismatch: plan says %s, chunks chain to %s", tr.ImageSHA256, got)
 	}
-	img, err := builder.Finish()
+	p.Chunks = tr.Chunks
+	p.ImageSHA256 = tr.ImageSHA256
+	return &p, nil
+}
+
+// DecodePlan reads a plan previously written by Encode or StreamPlan,
+// verifying each metadata chunk's integrity hash and rebuilding the image
+// incrementally — the serialized metadata is never held in memory whole.
+// Open validates the decoded plan's shard expectations and unpacks the
+// partition. Workers that only need one shard use DecodePlanShard instead
+// and never rebuild the image.
+func DecodePlan(r io.Reader) (*Plan, error) {
+	var builder *fsimage.ImageSink
+	p, err := decodePlanStream(r, func(hdr *Plan) (fsimage.RecordSink, error) {
+		builder = fsimage.NewImageSink(hdr.Spec)
+		return builder, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	img, err := builder.Image()
 	if err != nil {
 		return nil, fmt.Errorf("distribute: embedded image: %w", err)
 	}
 	p.img = img
-	return &p, nil
+	return p, nil
 }
 
 // LoadPlan reads and opens a plan file.
@@ -348,6 +461,19 @@ func (p *Plan) Fingerprint() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// validateShardTable checks the header's shard table shape (indices dense
+// and in order) and returns the per-shard root lists.
+func (p *Plan) validateShardTable() ([][]int, error) {
+	roots := make([][]int, len(p.Shards))
+	for i, s := range p.Shards {
+		if s.Index != i {
+			return nil, fmt.Errorf("distribute: shard %d recorded with index %d", i, s.Index)
+		}
+		roots[i] = s.Roots
+	}
+	return roots, nil
+}
+
 // OpenPlan is a validated, unpacked plan: the decoded image, the rebuilt
 // partition, and the per-shard file lists.
 type OpenPlan struct {
@@ -376,28 +502,25 @@ func (p *Plan) Open() (*OpenPlan, error) {
 		return nil, fmt.Errorf("distribute: plan totals (%d files, %d dirs, %d bytes) do not match embedded image (%d, %d, %d)",
 			p.Files, p.Dirs, p.Bytes, img.FileCount(), img.DirCount(), img.TotalBytes())
 	}
-	roots := make([][]int, len(p.Shards))
-	for i, s := range p.Shards {
-		if s.Index != i {
-			return nil, fmt.Errorf("distribute: shard %d recorded with index %d", i, s.Index)
-		}
-		roots[i] = s.Roots
+	roots, err := p.validateShardTable()
+	if err != nil {
+		return nil, err
 	}
 	part, err := namespace.PartitionFromRoots(img.Tree, roots)
 	if err != nil {
 		return nil, fmt.Errorf("distribute: rebuilding partition: %w", err)
 	}
 	filesByShard := make([][]int, part.Len())
-	byteShards := make([]int64, part.Len())
+	acc := namespace.NewShardAccumulator(part)
 	for i := range img.Files {
 		s := part.ShardOf(img.Files[i].DirID)
 		filesByShard[s] = append(filesByShard[s], i)
-		byteShards[s] += img.Files[i].Size
+		acc.Add(img.Files[i].DirID, img.Files[i].Size)
 	}
 	for i, s := range p.Shards {
-		if len(part.Shards[i]) != s.Dirs || len(filesByShard[i]) != s.Files || byteShards[i] != s.Bytes {
+		if len(part.Shards[i]) != s.Dirs || acc.Files(i) != s.Files || acc.Bytes(i) != s.Bytes {
 			return nil, fmt.Errorf("distribute: shard %d expectations (%d dirs, %d files, %d bytes) do not match the embedded image (%d, %d, %d)",
-				i, s.Dirs, s.Files, s.Bytes, len(part.Shards[i]), len(filesByShard[i]), byteShards[i])
+				i, s.Dirs, s.Files, s.Bytes, len(part.Shards[i]), acc.Files(i), acc.Bytes(i))
 		}
 	}
 	return &OpenPlan{Plan: p, Image: img, Part: part, FilesByShard: filesByShard}, nil

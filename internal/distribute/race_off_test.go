@@ -1,0 +1,7 @@
+//go:build !race
+
+package distribute
+
+// raceEnabled reports whether the race detector is compiled in; memory-
+// ceiling tests skip under it (instrumentation multiplies heap usage).
+const raceEnabled = false

@@ -1,0 +1,183 @@
+package distribute
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"impressions/internal/fsimage"
+	"impressions/internal/namespace"
+)
+
+// ShardView is everything one worker needs to execute a single shard: the
+// sealed plan header, the compact directory tree, the rebuilt partition,
+// and just that shard's file records. The pruned decode (DecodePlanShard)
+// produces one while holding O(dirs + shard files + chunk) memory — a
+// worker's footprint is bounded by its shard, not by the image — and the
+// retained OpenPlan can project one out for in-process execution.
+type ShardView struct {
+	Plan  *Plan
+	Tree  *namespace.Tree
+	Part  *namespace.Partition
+	Shard int
+	// Dirs lists the shard's directory IDs in ascending order.
+	Dirs []int
+	// Files lists the shard's file records in ascending ID order — the only
+	// file records a pruned decode retains.
+	Files []fsimage.File
+	// StreamedFileRecords counts every file record the plan stream carried
+	// (all shards); the pruned decode walks them all for integrity and
+	// accounting but retains only len(Files).
+	StreamedFileRecords int
+}
+
+// shardPruner is the RecordSink behind DecodePlanShard: the compact
+// TreeSink plus a filter retaining only the target shard's file records,
+// with streaming per-shard accumulators standing in for the retained
+// Open-time validation.
+type shardPruner struct {
+	hdr   *Plan
+	shard int
+	ts    *fsimage.TreeSink
+	part  *namespace.Partition
+	acc   *namespace.ShardAccumulator
+	files []fsimage.File
+	total int
+}
+
+func newShardPruner(hdr *Plan, shard int) (*shardPruner, error) {
+	if hdr.DigestAlgo != fsimage.DigestVersion {
+		return nil, fmt.Errorf("distribute: plan digest algo %q, this build computes %q", hdr.DigestAlgo, fsimage.DigestVersion)
+	}
+	if shard < 0 || shard >= len(hdr.Shards) {
+		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards)", shard, len(hdr.Shards))
+	}
+	pr := &shardPruner{hdr: hdr, shard: shard}
+	// The header is untrusted until the stream verifies: clamp the
+	// preallocation so a tampered shard count degrades into a failed
+	// expectation check, never a gigantic allocation.
+	if n := hdr.Shards[shard].Files; n > 0 {
+		pr.files = make([]fsimage.File, 0, min(n, 1<<20))
+	}
+	pr.ts = fsimage.NewTreeSink(pr.onFile)
+	return pr, nil
+}
+
+func (pr *shardPruner) AddDir(d fsimage.DirRecord) error { return pr.ts.AddDir(d) }
+func (pr *shardPruner) AddFile(f fsimage.File) error     { return pr.ts.AddFile(f) }
+
+// ensurePartition rebuilds the partition once the directory stream is
+// complete (at the first file record, or at end-of-stream for file-less
+// plans).
+func (pr *shardPruner) ensurePartition() error {
+	if pr.part != nil {
+		return nil
+	}
+	if got := pr.ts.DirCount(); got != pr.hdr.Dirs {
+		return fmt.Errorf("distribute: plan stream carried %d directories, header promises %d", got, pr.hdr.Dirs)
+	}
+	roots, err := pr.hdr.validateShardTable()
+	if err != nil {
+		return err
+	}
+	part, err := namespace.PartitionFromRoots(pr.ts.Tree(), roots)
+	if err != nil {
+		return fmt.Errorf("distribute: rebuilding partition: %w", err)
+	}
+	pr.part = part
+	pr.acc = namespace.NewShardAccumulator(part)
+	return nil
+}
+
+// onFile accounts every file record but retains only the target shard's.
+func (pr *shardPruner) onFile(f fsimage.File) error {
+	if err := pr.ensurePartition(); err != nil {
+		return err
+	}
+	pr.total++
+	pr.acc.Add(f.DirID, f.Size)
+	if pr.part.ShardOf(f.DirID) == pr.shard {
+		pr.files = append(pr.files, f)
+	}
+	return nil
+}
+
+// finish runs the whole-plan validations the retained Open performs, from
+// the streaming accumulators, and assembles the view.
+func (pr *shardPruner) finish() (*ShardView, error) {
+	if err := pr.ensurePartition(); err != nil {
+		return nil, err
+	}
+	if pr.ts.FileCount() != pr.hdr.Files || pr.ts.TotalBytes() != pr.hdr.Bytes {
+		return nil, fmt.Errorf("distribute: plan stream carried %d files, %d bytes; header promises %d, %d",
+			pr.ts.FileCount(), pr.ts.TotalBytes(), pr.hdr.Files, pr.hdr.Bytes)
+	}
+	for i, s := range pr.hdr.Shards {
+		if len(pr.part.Shards[i]) != s.Dirs || pr.acc.Files(i) != s.Files || pr.acc.Bytes(i) != s.Bytes {
+			return nil, fmt.Errorf("distribute: shard %d expectations (%d dirs, %d files, %d bytes) do not match the embedded image (%d, %d, %d)",
+				i, s.Dirs, s.Files, s.Bytes, len(pr.part.Shards[i]), pr.acc.Files(i), pr.acc.Bytes(i))
+		}
+	}
+	return &ShardView{
+		Plan:                pr.hdr,
+		Tree:                pr.ts.Tree(),
+		Part:                pr.part,
+		Shard:               pr.shard,
+		Dirs:                pr.part.Shards[pr.shard],
+		Files:               pr.files,
+		StreamedFileRecords: pr.total,
+	}, nil
+}
+
+// DecodePlanShard reads a plan document and retains only what executing the
+// given shard needs: the directory tree, the partition, and that shard's
+// file records. Every chunk is still integrity-verified against the trailer
+// chain and every shard's expectations are still checked — the pruning
+// drops memory, not validation.
+func DecodePlanShard(r io.Reader, shard int) (*ShardView, error) {
+	var pr *shardPruner
+	// decodePlanStream hands the header to the callback and seals the
+	// trailer fields on that same struct, so pr.hdr is the finished plan.
+	if _, err := decodePlanStream(r, func(hdr *Plan) (fsimage.RecordSink, error) {
+		var err error
+		pr, err = newShardPruner(hdr, shard)
+		return pr, err
+	}); err != nil {
+		return nil, err
+	}
+	return pr.finish()
+}
+
+// LoadPlanShard reads a plan file through the shard-pruning decoder — the
+// entry point a distributed worker process uses, so its memory is bounded
+// by its shard (plus the compact tree), never by the image.
+func LoadPlanShard(path string, shard int) (*ShardView, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("distribute: %w", err)
+	}
+	defer f.Close()
+	return DecodePlanShard(f, shard)
+}
+
+// ShardView projects one shard's view out of a retained open plan, for
+// in-process execution (distrun, tests, the library API).
+func (p *OpenPlan) ShardView(shard int) (*ShardView, error) {
+	if shard < 0 || shard >= len(p.Plan.Shards) {
+		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards)", shard, len(p.Plan.Shards))
+	}
+	idx := p.FilesByShard[shard]
+	files := make([]fsimage.File, len(idx))
+	for k, i := range idx {
+		files[k] = p.Image.Files[i]
+	}
+	return &ShardView{
+		Plan:                p.Plan,
+		Tree:                p.Image.Tree,
+		Part:                p.Part,
+		Shard:               shard,
+		Dirs:                p.Part.Shards[shard],
+		Files:               files,
+		StreamedFileRecords: len(p.Image.Files),
+	}, nil
+}

@@ -115,58 +115,69 @@ type WorkerOptions struct {
 
 // ExecuteShard runs one shard of the plan in isolation: it materializes the
 // shard's directories and files under outRoot and returns the sealed
-// manifest. It reads nothing but the open plan — no state is shared with
-// other workers, so any number of ExecuteShard calls may run concurrently
-// in one process, in N processes, or on N machines. Shards from different
+// manifest. It is the retained-plan wrapper over ExecuteShardView — worker
+// processes decode only their shard (LoadPlanShard) and execute the view
+// directly.
+func ExecuteShard(p *OpenPlan, shard int, outRoot string, opts WorkerOptions) (*Manifest, error) {
+	v, err := p.ShardView(shard)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteShardView(v, outRoot, opts)
+}
+
+// ExecuteShardView materializes one shard's view under outRoot and returns
+// the sealed manifest. It reads nothing but the view — no state is shared
+// with other workers, so any number of executions may run concurrently in
+// one process, in N processes, or on N machines. Shards from different
 // workers may share outRoot (subtrees are disjoint) or use separate roots
 // that are later combined; the bytes written are identical either way.
-func ExecuteShard(p *OpenPlan, shard int, outRoot string, opts WorkerOptions) (*Manifest, error) {
-	if shard < 0 || shard >= len(p.Plan.Shards) {
-		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards)", shard, len(p.Plan.Shards))
-	}
-	sp := p.Plan.Shards[shard]
+func ExecuteShardView(v *ShardView, outRoot string, opts WorkerOptions) (*Manifest, error) {
+	sp := v.Plan.Shards[v.Shard]
 
 	// The plan's stream key is authoritative: validate that this build
 	// derives the content stream the plan was built for, instead of silently
 	// writing bytes from a different stream.
 	key, err := stats.ParseStreamKey(sp.StreamKey)
 	if err != nil {
-		return nil, fmt.Errorf("distribute: shard %d stream key: %w", shard, err)
+		return nil, fmt.Errorf("distribute: shard %d stream key: %w", v.Shard, err)
 	}
-	want := stats.DeriveSeed(p.Plan.Seed, fsimage.MaterializeStreamLabel)
-	if got := key.Apply(p.Plan.Seed); got != want {
+	want := stats.DeriveSeed(v.Plan.Seed, fsimage.MaterializeStreamLabel)
+	if got := key.Apply(v.Plan.Seed); got != want {
 		return nil, fmt.Errorf("distribute: shard %d stream key %q derives seed %d; this build's content stream derives %d — plan is from an incompatible version",
-			shard, sp.StreamKey, got, want)
+			v.Shard, sp.StreamKey, got, want)
 	}
 
+	// Digest slots are per shard record, so a pruned worker's buffers scale
+	// with its shard, never the image.
 	var digests []string
 	if !opts.MetadataOnly {
-		digests = make([]string, len(p.Image.Files))
+		digests = make([]string, len(v.Files))
 	}
 	mopts := fsimage.MaterializeOptions{
-		Registry:     content.NewRegistry(content.Kind(p.Plan.ContentKind)),
-		Seed:         p.Plan.Seed,
+		Registry:     content.NewRegistry(content.Kind(v.Plan.ContentKind)),
+		Seed:         v.Plan.Seed,
 		MetadataOnly: opts.MetadataOnly,
 		DirPerm:      opts.DirPerm,
 		FilePerm:     opts.FilePerm,
 	}
-	written, err := materializeShardParallel(p, shard, outRoot, mopts, opts.Parallelism, digests)
+	written, err := materializeShardParallel(v, outRoot, mopts, opts.Parallelism, digests)
 	if err != nil {
-		return nil, fmt.Errorf("distribute: shard %d: %w", shard, err)
+		return nil, fmt.Errorf("distribute: shard %d: %w", v.Shard, err)
 	}
 
 	m := &Manifest{
 		FormatVersion:   FormatVersion,
-		PlanFingerprint: p.Plan.Fingerprint(),
-		Shard:           shard,
-		Dirs:            len(p.Part.Shards[shard]),
-		Files:           len(p.FilesByShard[shard]),
+		PlanFingerprint: v.Plan.Fingerprint(),
+		Shard:           v.Shard,
+		Dirs:            len(v.Dirs),
+		Files:           len(v.Files),
 		Bytes:           written,
 		ContentHashed:   !opts.MetadataOnly,
-		FileDigests:     make([]FileDigest, 0, len(p.FilesByShard[shard])),
+		FileDigests:     make([]FileDigest, 0, len(v.Files)),
 	}
-	for _, i := range p.FilesByShard[shard] {
-		fd := FileDigest{ID: i, Size: p.Image.Files[i].Size}
+	for i, f := range v.Files {
+		fd := FileDigest{ID: f.ID, Size: f.Size}
 		if digests != nil {
 			fd.SHA256 = digests[i]
 		}
@@ -181,14 +192,20 @@ func ExecuteShard(p *OpenPlan, shard int, outRoot string, opts WorkerOptions) (*
 // order), then the shard's files in fixed-size chunks. Chunk boundaries and
 // per-file RNG streams depend only on file IDs, and digest slots are
 // disjoint, so the output and manifest are identical at every level.
-func materializeShardParallel(p *OpenPlan, shard int, outRoot string, mopts fsimage.MaterializeOptions, parallelism int, digests []string) (int64, error) {
+func materializeShardParallel(v *ShardView, outRoot string, mopts fsimage.MaterializeOptions, parallelism int, digests []string) (int64, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
-	if _, err := p.Image.MaterializeShard(outRoot, p.Part.Shards[shard], nil, mopts, nil); err != nil {
+	if _, err := fsimage.MaterializeShardRecords(outRoot, v.Tree, v.Dirs, nil, mopts, nil); err != nil {
 		return 0, err
 	}
-	files := p.FilesByShard[shard]
+	files := v.Files
+	sub := func(lo, hi int) []string {
+		if digests == nil {
+			return nil
+		}
+		return digests[lo:hi]
+	}
 	var (
 		written atomic.Int64
 		mu      sync.Mutex
@@ -204,7 +221,7 @@ func materializeShardParallel(p *OpenPlan, shard int, outRoot string, mopts fsim
 		if failed {
 			return
 		}
-		n, err := p.Image.MaterializeShard(outRoot, nil, files[lo:hi], mopts, digests)
+		n, err := fsimage.MaterializeShardRecords(outRoot, v.Tree, nil, files[lo:hi], mopts, sub(lo, hi))
 		written.Add(n)
 		if err != nil {
 			mu.Lock()

@@ -5,20 +5,18 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash"
-
-	"impressions/internal/namespace"
 )
 
 // The chunked metadata stream is how large images travel inside plan files
 // without ever being materialized as one JSON blob in memory: the image's
 // directory records stream first (ID order), then its file records (ID
 // order), sliced into hash-guarded chunks of at most a few thousand records
-// each. Producers emit one chunk at a time (EncodeChunks), consumers rebuild
-// the image one chunk at a time (ImageBuilder), and both sides hold O(chunk)
-// metadata buffers instead of O(image). The per-chunk hash covers the
-// records themselves — not their JSON rendering — so integrity survives any
-// re-encoding, and the chain over all chunk hashes (ChainChunkHashes) stands
-// in for a whole-image hash.
+// each. Producers push records into a ChunkEncoder (any RecordSource will
+// do), consumers replay verified chunks through a ChunkDecoder into any
+// RecordSink, and both sides hold O(chunk) metadata buffers instead of
+// O(image). The per-chunk hash covers the records themselves — not their
+// JSON rendering — so integrity survives any re-encoding, and the chain over
+// all chunk hashes (ChainChunkHashes) stands in for a whole-image hash.
 
 // DefaultChunkSize is the default number of metadata records per chunk. At
 // ~100 bytes per serialized record a chunk costs on the order of 1 MB to
@@ -66,40 +64,104 @@ func (c *Chunk) RecordsHash() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ChunkEncoder is the RecordSink that slices a metadata stream into sealed,
+// hash-guarded chunks: directory records fill directory chunks, the first
+// file record seals any partial directory chunk, and Close seals the
+// trailing partial chunk. Only one chunk's records are ever buffered, so a
+// generation pass can stream an arbitrarily large image through it in
+// O(chunk) memory. The emitted *Chunk (and its record slices) is reused
+// between emit calls — emit must not retain it.
+type ChunkEncoder struct {
+	chunkSize int
+	emit      func(*Chunk) error
+
+	c       Chunk
+	dirBuf  []DirRecord
+	fileBuf []File
+	files   bool // the file half of the stream has begun
+	chain   *ChunkHashChain
+}
+
+// NewChunkEncoder returns an encoder emitting chunks of at most chunkSize
+// records (<= 0 selects DefaultChunkSize).
+func NewChunkEncoder(chunkSize int, emit func(*Chunk) error) *ChunkEncoder {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &ChunkEncoder{chunkSize: chunkSize, emit: emit, chain: NewChunkHashChain()}
+}
+
+// AddDir buffers the next directory record, sealing a chunk when full.
+func (e *ChunkEncoder) AddDir(d DirRecord) error {
+	if e.files {
+		return fmt.Errorf("fsimage: directory record %d after the file stream began", d.ID)
+	}
+	e.dirBuf = append(e.dirBuf, d)
+	if len(e.dirBuf) >= e.chunkSize {
+		return e.flush()
+	}
+	return nil
+}
+
+// AddFile buffers the next file record, sealing the partial directory chunk
+// on the first file and full file chunks thereafter.
+func (e *ChunkEncoder) AddFile(f File) error {
+	if !e.files {
+		if err := e.flush(); err != nil {
+			return err
+		}
+		e.files = true
+	}
+	e.fileBuf = append(e.fileBuf, f)
+	if len(e.fileBuf) >= e.chunkSize {
+		return e.flush()
+	}
+	return nil
+}
+
+// flush seals and emits the buffered records as one chunk (no-op if empty).
+func (e *ChunkEncoder) flush() error {
+	if len(e.dirBuf) == 0 && len(e.fileBuf) == 0 {
+		return nil
+	}
+	e.c.Dirs, e.c.Files = e.dirBuf, e.fileBuf
+	if len(e.dirBuf) == 0 {
+		e.c.Dirs = nil
+	}
+	if len(e.fileBuf) == 0 {
+		e.c.Files = nil
+	}
+	e.c.SHA256 = e.c.RecordsHash()
+	e.chain.Add(e.c.SHA256)
+	err := e.emit(&e.c)
+	e.c.Index++
+	e.dirBuf = e.dirBuf[:0]
+	e.fileBuf = e.fileBuf[:0]
+	return err
+}
+
+// Close seals the trailing partial chunk. It must be called after the last
+// record; the encoder may be inspected (Chunks, ChainHash) afterwards.
+func (e *ChunkEncoder) Close() error { return e.flush() }
+
+// Chunks returns how many chunks have been sealed so far.
+func (e *ChunkEncoder) Chunks() int { return e.c.Index }
+
+// ChainHash returns the running chain hash over the sealed chunks; after
+// Close it is the whole-image integrity value a chunked stream's header or
+// trailer records.
+func (e *ChunkEncoder) ChainHash() string { return e.chain.Sum() }
+
 // EncodeChunks slices img's metadata into sealed chunks of at most chunkSize
 // records each and passes them to emit in stream order. The chunk (and its
 // record slices) is reused between calls — emit must not retain it. A
 // chunkSize <= 0 selects DefaultChunkSize.
 func EncodeChunks(img *Image, chunkSize int, emit func(*Chunk) error) error {
-	if chunkSize <= 0 {
-		chunkSize = DefaultChunkSize
+	enc := NewChunkEncoder(chunkSize, emit)
+	if err := img.StreamRecords(enc); err != nil {
+		return err
 	}
-	var c Chunk
-	dirs := img.Tree.Dirs
-	dirBuf := make([]DirRecord, 0, min(chunkSize, len(dirs)))
-	for lo := 0; lo < len(dirs); lo += chunkSize {
-		hi := min(lo+chunkSize, len(dirs))
-		dirBuf = dirBuf[:0]
-		for _, d := range dirs[lo:hi] {
-			dirBuf = append(dirBuf, DirRecord{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias})
-		}
-		c.Dirs, c.Files = dirBuf, nil
-		c.SHA256 = c.RecordsHash()
-		if err := emit(&c); err != nil {
-			return err
-		}
-		c.Index++
-	}
-	for lo := 0; lo < len(img.Files); lo += chunkSize {
-		hi := min(lo+chunkSize, len(img.Files))
-		c.Dirs, c.Files = nil, img.Files[lo:hi]
-		c.SHA256 = c.RecordsHash()
-		if err := emit(&c); err != nil {
-			return err
-		}
-		c.Index++
-	}
-	return nil
+	return enc.Close()
 }
 
 // ChainChunkHashes folds a sequence of chunk hashes (in stream order) into
@@ -137,29 +199,30 @@ func (c *ChunkHashChain) Sum() string {
 	return hex.EncodeToString(c.h.Sum(nil))
 }
 
-// ImageBuilder rebuilds an image incrementally from a chunked metadata
-// stream. Feed chunks in order with AddChunk — each is integrity-checked and
-// folded into the running hash chain — then call Finish. Only the growing
-// image itself is held in memory; no chunk's serialized form outlives its
-// AddChunk call.
-type ImageBuilder struct {
-	asm       assembler
-	spec      Spec
+// ChunkDecoder verifies a chunked metadata stream — chunk order, per-chunk
+// integrity hashes, the dirs-before-files invariant — and replays the
+// verified records into any RecordSink, maintaining the running hash chain.
+// It is the guard every chunk consumer shares: the retained ImageBuilder,
+// the shard-pruning plan decoder, and any streaming pipeline reading chunks
+// off the wire.
+type ChunkDecoder struct {
+	sink      RecordSink
 	nextChunk int
+	filesSeen bool
 	chain     *ChunkHashChain
 }
 
-// NewImageBuilder starts a builder for an image carrying the given spec.
-func NewImageBuilder(spec Spec) *ImageBuilder {
-	return &ImageBuilder{spec: spec, chain: NewChunkHashChain()}
+// NewChunkDecoder returns a decoder replaying verified records into sink.
+func NewChunkDecoder(sink RecordSink) *ChunkDecoder {
+	return &ChunkDecoder{sink: sink, chain: NewChunkHashChain()}
 }
 
 // AddChunk verifies and applies the next chunk of the stream. It rejects
-// out-of-order chunks, records failing their integrity hash, directory
-// records after the first file record, and structurally invalid records.
-func (b *ImageBuilder) AddChunk(c *Chunk) error {
-	if c.Index != b.nextChunk {
-		return fmt.Errorf("fsimage: metadata chunk %d arrived out of order (want chunk %d)", c.Index, b.nextChunk)
+// out-of-order chunks, records failing their integrity hash, chunks mixing
+// record kinds, and directory records after the first file record.
+func (d *ChunkDecoder) AddChunk(c *Chunk) error {
+	if c.Index != d.nextChunk {
+		return fmt.Errorf("fsimage: metadata chunk %d arrived out of order (want chunk %d)", c.Index, d.nextChunk)
 	}
 	if got := c.RecordsHash(); got != c.SHA256 {
 		return fmt.Errorf("fsimage: metadata chunk %d failed its integrity check (recorded %s, recomputed %s) — corrupted in transit",
@@ -168,99 +231,57 @@ func (b *ImageBuilder) AddChunk(c *Chunk) error {
 	if len(c.Dirs) > 0 && len(c.Files) > 0 {
 		return fmt.Errorf("fsimage: metadata chunk %d mixes directory and file records", c.Index)
 	}
-	if len(c.Dirs) > 0 && b.asm.filesSeen {
+	if len(c.Dirs) > 0 && d.filesSeen {
 		return fmt.Errorf("fsimage: metadata chunk %d carries directories after the file stream began", c.Index)
 	}
-	for _, d := range c.Dirs {
-		if err := b.asm.addDir(d); err != nil {
+	for _, rec := range c.Dirs {
+		if err := d.sink.AddDir(rec); err != nil {
 			return err
 		}
 	}
-	for _, f := range c.Files {
-		if err := b.asm.addFile(f); err != nil {
+	for _, rec := range c.Files {
+		d.filesSeen = true
+		if err := d.sink.AddFile(rec); err != nil {
 			return err
 		}
 	}
-	b.chain.Add(c.SHA256)
-	b.nextChunk++
+	d.chain.Add(c.SHA256)
+	d.nextChunk++
 	return nil
 }
+
+// ChainHash returns the running chain hash over the chunks applied so far;
+// after the last chunk it must equal the stream's whole-image hash.
+func (d *ChunkDecoder) ChainHash() string { return d.chain.Sum() }
+
+// Chunks returns how many chunks have been applied.
+func (d *ChunkDecoder) Chunks() int { return d.nextChunk }
+
+// ImageBuilder rebuilds an image incrementally from a chunked metadata
+// stream: a ChunkDecoder feeding the retained ImageSink. Feed chunks in
+// order with AddChunk — each is integrity-checked and folded into the
+// running hash chain — then call Finish. Only the growing image itself is
+// held in memory; no chunk's serialized form outlives its AddChunk call.
+type ImageBuilder struct {
+	dec  *ChunkDecoder
+	sink *ImageSink
+}
+
+// NewImageBuilder starts a builder for an image carrying the given spec.
+func NewImageBuilder(spec Spec) *ImageBuilder {
+	sink := NewImageSink(spec)
+	return &ImageBuilder{dec: NewChunkDecoder(sink), sink: sink}
+}
+
+// AddChunk verifies and applies the next chunk of the stream.
+func (b *ImageBuilder) AddChunk(c *Chunk) error { return b.dec.AddChunk(c) }
 
 // ChainHash returns the running chain hash over the chunks added so far;
 // after the last chunk it must equal the stream header's whole-image hash.
-func (b *ImageBuilder) ChainHash() string { return b.chain.Sum() }
+func (b *ImageBuilder) ChainHash() string { return b.dec.ChainHash() }
 
 // Chunks returns how many chunks have been added.
-func (b *ImageBuilder) Chunks() int { return b.nextChunk }
+func (b *ImageBuilder) Chunks() int { return b.dec.Chunks() }
 
 // Finish validates the assembled image and returns it.
-func (b *ImageBuilder) Finish() (*Image, error) {
-	img, err := b.asm.finish()
-	if err != nil {
-		return nil, err
-	}
-	img.Spec = b.spec
-	return img, nil
-}
-
-// assembler is the shared record-by-record image rebuilder behind both the
-// whole-image Decode and the chunk-streamed ImageBuilder: directories in ID
-// order (root first), then files in ID order, with tree counters restored as
-// files arrive.
-type assembler struct {
-	img       *Image
-	tree      *namespace.Tree
-	filesSeen bool
-}
-
-func (a *assembler) addDir(d DirRecord) error {
-	if a.tree == nil {
-		if d.ID != 0 {
-			return fmt.Errorf("fsimage: metadata stream begins with directory %d, want the root (0)", d.ID)
-		}
-		a.tree = namespace.GenerateTree(nil, 1, namespace.ShapeFlat)
-		a.img = New(a.tree)
-		a.tree.Dirs[0].Name = d.Name
-		a.tree.Dirs[0].Special = d.Special
-		a.tree.Dirs[0].Bias = d.Bias
-		return nil
-	}
-	if d.Parent < 0 || d.Parent >= a.tree.Len() {
-		return fmt.Errorf("fsimage: directory %d has invalid parent %d", d.ID, d.Parent)
-	}
-	id := a.tree.AddDir(d.Parent)
-	if id != d.ID {
-		return fmt.Errorf("fsimage: directory IDs are not dense (got %d want %d)", id, d.ID)
-	}
-	a.tree.Dirs[id].Name = d.Name
-	a.tree.Dirs[id].Special = d.Special
-	a.tree.Dirs[id].Bias = d.Bias
-	return nil
-}
-
-func (a *assembler) addFile(f File) error {
-	if a.tree == nil {
-		return fmt.Errorf("fsimage: file %d arrived before any directory record", f.ID)
-	}
-	a.filesSeen = true
-	if f.DirID < 0 || f.DirID >= a.tree.Len() {
-		return fmt.Errorf("fsimage: file %d references unknown directory %d", f.ID, f.DirID)
-	}
-	id := a.img.AddFile(f.Name, f.Ext, f.Size, f.DirID, f.Depth)
-	if id != f.ID {
-		return fmt.Errorf("fsimage: file IDs are not dense (got %d want %d)", id, f.ID)
-	}
-	a.tree.Dirs[f.DirID].FileCount++
-	a.tree.Dirs[f.DirID].Bytes += f.Size
-	return nil
-}
-
-func (a *assembler) finish() (*Image, error) {
-	if a.tree == nil {
-		return nil, fmt.Errorf("fsimage: decoded image has no directories")
-	}
-	if err := a.img.Validate(); err != nil {
-		return nil, err
-	}
-	return a.img, nil
-}
+func (b *ImageBuilder) Finish() (*Image, error) { return b.sink.Image() }

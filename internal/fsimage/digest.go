@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 	"io/fs"
 	"os"
@@ -92,18 +93,73 @@ func CombineDigest(img *Image, fileDigests []string) (string, error) {
 	if len(fileDigests) != len(img.Files) {
 		return "", fmt.Errorf("fsimage: %d file digests for %d files", len(fileDigests), len(img.Files))
 	}
-	h := sha256.New()
-	fmt.Fprintf(h, "%s\ndirs:%d files:%d bytes:%d\n", DigestVersion, img.DirCount(), img.FileCount(), img.TotalBytes())
-	for id := range img.Tree.Dirs {
-		fmt.Fprintf(h, "D %s\n", img.Tree.Path(id))
-	}
-	for i, f := range img.Files {
-		if fileDigests[i] == "" {
-			return "", fmt.Errorf("fsimage: missing content digest for file %d", i)
+	b := NewDigestBuilder(img.DirCount(), img.FileCount(), img.TotalBytes(), func(f File) (string, error) {
+		if fileDigests[f.ID] == "" {
+			return "", fmt.Errorf("fsimage: missing content digest for file %d", f.ID)
 		}
-		fmt.Fprintf(h, "F %s %d %s\n", img.FilePath(f), f.Size, fileDigests[i])
+		return fileDigests[f.ID], nil
+	})
+	if err := img.StreamRecords(b); err != nil {
+		return "", err
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return b.Sum()
+}
+
+// DigestBuilder computes the canonical image digest (the Digest /
+// CombineDigest formula, DigestVersion) from a record stream, holding only
+// the compact directory tree — never the file records. The expected totals
+// are part of the digest header, so they must be known up front (plan
+// headers and images both carry them); Sum fails if the stream did not
+// deliver exactly those totals. content supplies each file's content hash
+// (from a manifest, a precomputed table, or inline generation).
+type DigestBuilder struct {
+	ts        TreeSink
+	h         hash.Hash
+	content   func(File) (string, error)
+	wantDirs  int
+	wantFiles int
+	wantBytes int64
+}
+
+// NewDigestBuilder starts a streaming digest over an image promising the
+// given totals.
+func NewDigestBuilder(dirs, files int, bytes int64, content func(File) (string, error)) *DigestBuilder {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\ndirs:%d files:%d bytes:%d\n", DigestVersion, dirs, files, bytes)
+	return &DigestBuilder{h: h, content: content, wantDirs: dirs, wantFiles: files, wantBytes: bytes}
+}
+
+// AddDir folds the next directory record into the digest.
+func (b *DigestBuilder) AddDir(d DirRecord) error {
+	if err := b.ts.AddDir(d); err != nil {
+		return err
+	}
+	fmt.Fprintf(b.h, "D %s\n", b.ts.Tree().Path(d.ID))
+	return nil
+}
+
+// AddFile folds the next file record (path, size, content hash) into the
+// digest.
+func (b *DigestBuilder) AddFile(f File) error {
+	if err := b.ts.AddFile(f); err != nil {
+		return err
+	}
+	sum, err := b.content(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b.h, "F %s %d %s\n", filePathIn(b.ts.Tree(), f), f.Size, sum)
+	return nil
+}
+
+// Sum returns the canonical digest, verifying the stream delivered exactly
+// the totals promised to NewDigestBuilder.
+func (b *DigestBuilder) Sum() (string, error) {
+	if b.ts.DirCount() != b.wantDirs || b.ts.FileCount() != b.wantFiles || b.ts.TotalBytes() != b.wantBytes {
+		return "", fmt.Errorf("fsimage: digest stream carried %d dirs, %d files, %d bytes; header promised %d, %d, %d",
+			b.ts.DirCount(), b.ts.FileCount(), b.ts.TotalBytes(), b.wantDirs, b.wantFiles, b.wantBytes)
+	}
+	return hex.EncodeToString(b.h.Sum(nil)), nil
 }
 
 // HashTree computes a canonical SHA-256 over a real directory tree: every

@@ -13,7 +13,7 @@ import (
 )
 
 // buildTestImage constructs a small deterministic image for tests.
-func buildTestImage(t *testing.T) *Image {
+func buildTestImage(t testing.TB) *Image {
 	t.Helper()
 	rng := stats.NewRNG(1)
 	tree := namespace.GenerateTree(rng, 20, namespace.ShapeGenerative)

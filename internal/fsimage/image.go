@@ -93,11 +93,7 @@ func (img *Image) MeanFileSize() float64 {
 // FilePath returns the slash-separated path of the file relative to the image
 // root.
 func (img *Image) FilePath(f File) string {
-	dir := img.Tree.Path(f.DirID)
-	if dir == "" {
-		return f.Name
-	}
-	return dir + "/" + f.Name
+	return filePathIn(img.Tree, f)
 }
 
 // MaxFileDepth returns the deepest file depth in the image.

@@ -47,13 +47,15 @@ type MaterializeOptions struct {
 	Digests []string
 }
 
-// normalized fills in the option defaults relative to an image.
-func (opts MaterializeOptions) normalized(img *Image) MaterializeOptions {
+// withDefaults fills in the option defaults; a zero Seed falls back to
+// fallbackSeed (callers without an image pass the plan or spec seed
+// explicitly).
+func (opts MaterializeOptions) withDefaults(fallbackSeed int64) MaterializeOptions {
 	if opts.Registry == nil {
 		opts.Registry = content.NewRegistry(content.KindDefault)
 	}
 	if opts.Seed == 0 {
-		opts.Seed = img.Spec.Seed
+		opts.Seed = fallbackSeed
 	}
 	if opts.DirPerm == 0 {
 		opts.DirPerm = 0o755
@@ -65,6 +67,11 @@ func (opts MaterializeOptions) normalized(img *Image) MaterializeOptions {
 		opts.Parallelism = runtime.NumCPU()
 	}
 	return opts
+}
+
+// normalized fills in the option defaults relative to an image.
+func (opts MaterializeOptions) normalized(img *Image) MaterializeOptions {
+	return opts.withDefaults(img.Spec.Seed)
 }
 
 // ShardWeight estimates the materialization cost of one directory (its
@@ -109,7 +116,6 @@ func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, erro
 		filesByShard[s] = append(filesByShard[s], i)
 	}
 
-	baseRNG := stats.NewRNG(opts.Seed).Fork(MaterializeStreamLabel)
 	var (
 		written atomic.Int64
 		mu      sync.Mutex
@@ -122,7 +128,7 @@ func (img *Image) Materialize(root string, opts MaterializeOptions) (int64, erro
 		if failed {
 			return // short-circuit remaining shards after the first error
 		}
-		n, err := img.materializeShard(root, part.Shards[s], filesByShard[s], opts, baseRNG, opts.Digests)
+		n, err := img.materializeShard(root, part.Shards[s], filesByShard[s], opts, opts.Digests)
 		written.Add(n)
 		if err != nil {
 			mu.Lock()
@@ -152,23 +158,52 @@ func (img *Image) MaterializeShard(root string, dirs, files []int, opts Material
 	if digests != nil && len(digests) != len(img.Files) {
 		return 0, fmt.Errorf("fsimage: digest slice has length %d, want %d", len(digests), len(img.Files))
 	}
+	return img.materializeShard(root, dirs, files, opts, digests)
+}
+
+// materializeShard gathers one shard's file records and hands them to the
+// record-based primitive, scattering the per-record digests back into the
+// image-wide (file-ID indexed) slice.
+func (img *Image) materializeShard(root string, dirs []int, files []int, opts MaterializeOptions, digests []string) (int64, error) {
+	recs := make([]File, len(files))
+	for k, i := range files {
+		recs[k] = img.Files[i]
+	}
+	var local []string
+	if digests != nil {
+		local = make([]string, len(recs))
+	}
+	written, err := MaterializeShardRecords(root, img.Tree, dirs, recs, opts, local)
+	for k, sum := range local {
+		if sum != "" {
+			digests[recs[k].ID] = sum
+		}
+	}
+	return written, err
+}
+
+// MaterializeShardRecords creates the given directories (tree IDs, in
+// ascending order so parents precede children) and file records under root
+// — the record-based materialization primitive every path shares: the
+// retained Image.Materialize, the distributed shard workers, and the
+// streaming MaterializeSink. The root itself is created if missing. When
+// digests is non-nil it must have length len(files); the SHA-256 (hex) of
+// files[i]'s written content is stored at digests[i] (left empty with
+// MetadataOnly). opts.Seed is used as given — callers without an image pass
+// the plan or spec seed.
+func MaterializeShardRecords(root string, tree *namespace.Tree, dirs []int, files []File, opts MaterializeOptions, digests []string) (int64, error) {
+	opts = opts.withDefaults(opts.Seed)
+	if digests != nil && len(digests) != len(files) {
+		return 0, fmt.Errorf("fsimage: digest slice has length %d, want %d", len(digests), len(files))
+	}
 	if err := os.MkdirAll(root, opts.DirPerm); err != nil {
 		return 0, fmt.Errorf("fsimage: creating root %q: %w", root, err)
 	}
-	baseRNG := stats.NewRNG(opts.Seed).Fork(MaterializeStreamLabel)
-	return img.materializeShard(root, dirs, files, opts, baseRNG, digests)
-}
-
-// materializeShard creates one shard's directories and files. Shard directory
-// lists are in ascending ID order, so parents within the shard's subtrees are
-// created before their children; a subtree's own root hangs directly off the
-// image root, which already exists.
-func (img *Image) materializeShard(root string, dirs []int, files []int, opts MaterializeOptions, baseRNG *stats.RNG, digests []string) (int64, error) {
 	for _, id := range dirs {
 		if id == 0 {
 			continue
 		}
-		p := filepath.Join(root, filepath.FromSlash(img.Tree.Path(id)))
+		p := filepath.Join(root, filepath.FromSlash(tree.Path(id)))
 		if err := os.MkdirAll(p, opts.DirPerm); err != nil {
 			return 0, fmt.Errorf("fsimage: creating directory %q: %w", p, err)
 		}
@@ -178,9 +213,9 @@ func (img *Image) materializeShard(root string, dirs []int, files []int, opts Ma
 	if digests != nil {
 		sum = sha256.New()
 	}
-	for _, i := range files {
-		f := img.Files[i]
-		p := filepath.Join(root, filepath.FromSlash(img.FilePath(f)))
+	baseRNG := stats.NewRNG(opts.Seed).Fork(MaterializeStreamLabel)
+	for k, f := range files {
+		p := filepath.Join(root, filepath.FromSlash(filePathIn(tree, f)))
 		// Each file owns a stream keyed by its ID: content depends only on
 		// the seed and the file, never on write order or worker identity.
 		rng := baseRNG.SplitN(uint64(f.ID))
@@ -192,12 +227,100 @@ func (img *Image) materializeShard(root string, dirs []int, files []int, opts Ma
 			return written, err
 		}
 		if sum != nil && !opts.MetadataOnly {
-			digests[f.ID] = hex.EncodeToString(sum.Sum(nil))
+			digests[k] = hex.EncodeToString(sum.Sum(nil))
 		}
 		written += n
 	}
 	return written, nil
 }
+
+// filePathIn returns the slash-separated path of a file record relative to
+// the tree root.
+func filePathIn(tree *namespace.Tree, f File) string {
+	dir := tree.Path(f.DirID)
+	if dir == "" {
+		return f.Name
+	}
+	return dir + "/" + f.Name
+}
+
+// MaterializeSink is the streaming materializer: a RecordSink that writes
+// each record to disk as it arrives — directories as they stream by, each
+// file's content generated straight into its file — holding only the
+// compact directory tree. It is the out-of-core counterpart of
+// Image.Materialize for pipelines that never retain the file records;
+// writes are serial (stream order), so prefer Materialize when the image is
+// in memory and parallel writers pay off. The written bytes are identical
+// either way: content streams are keyed by file ID alone.
+type MaterializeSink struct {
+	// OnDigest, when non-nil, observes each written file's content SHA-256
+	// (hex); it is not called with MetadataOnly.
+	OnDigest func(f File, sha256 string)
+
+	root    string
+	opts    MaterializeOptions
+	ts      TreeSink
+	baseRNG *stats.RNG
+	sum     hash.Hash
+	written int64
+}
+
+// NewMaterializeSink starts a streaming materialization under root.
+// opts.Seed must carry the content seed (there is no image to default from).
+func NewMaterializeSink(root string, opts MaterializeOptions) (*MaterializeSink, error) {
+	opts = opts.withDefaults(opts.Seed)
+	if err := os.MkdirAll(root, opts.DirPerm); err != nil {
+		return nil, fmt.Errorf("fsimage: creating root %q: %w", root, err)
+	}
+	s := &MaterializeSink{
+		root:    root,
+		opts:    opts,
+		baseRNG: stats.NewRNG(opts.Seed).Fork(MaterializeStreamLabel),
+		sum:     sha256.New(),
+	}
+	return s, nil
+}
+
+// AddDir creates the next directory.
+func (s *MaterializeSink) AddDir(d DirRecord) error {
+	if err := s.ts.AddDir(d); err != nil {
+		return err
+	}
+	if d.ID == 0 {
+		return nil
+	}
+	p := filepath.Join(s.root, filepath.FromSlash(s.ts.Tree().Path(d.ID)))
+	if err := os.MkdirAll(p, s.opts.DirPerm); err != nil {
+		return fmt.Errorf("fsimage: creating directory %q: %w", p, err)
+	}
+	return nil
+}
+
+// AddFile writes the next file.
+func (s *MaterializeSink) AddFile(f File) error {
+	if err := s.ts.AddFile(f); err != nil {
+		return err
+	}
+	p := filepath.Join(s.root, filepath.FromSlash(filePathIn(s.ts.Tree(), f)))
+	rng := s.baseRNG.SplitN(uint64(f.ID))
+	var sum hash.Hash
+	if s.OnDigest != nil && !s.opts.MetadataOnly {
+		sum = s.sum
+		sum.Reset()
+	}
+	n, err := writeFile(p, f, s.opts, rng, sum)
+	if err != nil {
+		return err
+	}
+	if sum != nil {
+		s.OnDigest(f, hex.EncodeToString(sum.Sum(nil)))
+	}
+	s.written += n
+	return nil
+}
+
+// Written returns the bytes written so far.
+func (s *MaterializeSink) Written() int64 { return s.written }
 
 // writerPool recycles the 64 KB bufio.Writers used to write file content, so
 // concurrent shard workers stop allocating fresh buffers for every file.

@@ -38,23 +38,19 @@ func Decode(r io.Reader) (*Image, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("fsimage: decoding image: %w", err)
 	}
-	// Rebuild by re-adding directories then files in ID order; this restores
-	// depth, byDepth indexes, subdir counts, and per-directory file counters.
-	var asm assembler
+	// Rebuild by replaying directories then files in ID order through the
+	// retained sink; this restores depth, byDepth indexes, subdir counts,
+	// and per-directory file counters.
+	sink := NewImageSink(s.Spec)
 	for _, d := range s.Dirs {
-		if err := asm.addDir(d); err != nil {
+		if err := sink.AddDir(d); err != nil {
 			return nil, err
 		}
 	}
 	for _, f := range s.Files {
-		if err := asm.addFile(f); err != nil {
+		if err := sink.AddFile(f); err != nil {
 			return nil, err
 		}
 	}
-	img, err := asm.finish()
-	if err != nil {
-		return nil, err
-	}
-	img.Spec = s.Spec
-	return img, nil
+	return sink.Image()
 }

@@ -292,6 +292,35 @@ func PartitionFromRoots(t *Tree, rootsPerShard [][]int) (*Partition, error) {
 	return p, nil
 }
 
+// ShardAccumulator tallies per-shard file counts and byte totals as file
+// placements stream by — the compact planner-side replacement for walking a
+// retained file slice. The planner, the streaming plan encoder, and the
+// shard-pruning plan decoder all fold the same stream of (directory, size)
+// placements through one of these and compare the totals.
+type ShardAccumulator struct {
+	part  *Partition
+	files []int
+	bytes []int64
+}
+
+// NewShardAccumulator returns an empty accumulator over the partition.
+func NewShardAccumulator(p *Partition) *ShardAccumulator {
+	return &ShardAccumulator{part: p, files: make([]int, p.Len()), bytes: make([]int64, p.Len())}
+}
+
+// Add tallies one file placed in dirID with the given size.
+func (a *ShardAccumulator) Add(dirID int, size int64) {
+	s := a.part.ShardOf(dirID)
+	a.files[s]++
+	a.bytes[s] += size
+}
+
+// Files returns the file count tallied for shard s.
+func (a *ShardAccumulator) Files(s int) int { return a.files[s] }
+
+// Bytes returns the byte total tallied for shard s.
+func (a *ShardAccumulator) Bytes(s int) int64 { return a.bytes[s] }
+
 // ShardOf returns the shard index owning the given directory ID.
 func (p *Partition) ShardOf(dirID int) int {
 	if dirID < 0 || dirID >= len(p.dirShard) {
