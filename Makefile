@@ -7,7 +7,7 @@ MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|File
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check mem-check
+.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check mem-check serve-check
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,30 @@ dist-fault-check:
 	./impressions merge -plan work/plan.json -print-digest work/manifest-*.json > merged.digest; \
 	cmp single.digest merged.digest; diff -r single merged; \
 	echo "dist-fault-check: OK (killed worker resumed; digest and tree identical)"
+
+# Local mirror of the CI serve-check job: boot impressionsd on an ephemeral
+# port, pull a plan and all its shards over HTTP, execute and merge them
+# locally, and require the canonical digest of an in-process run — then
+# require the repeated plan request to be a cache hit. Also writes the serve
+# latency metrics (plans/sec, hit rate, p50/p95/p99) as SERVE_<date>.json.
+serve-check:
+	@rm -rf /tmp/impressions-serve-check && mkdir -p /tmp/impressions-serve-check
+	$(GO) build -o /tmp/impressions-serve-check/impressionsd ./cmd/impressionsd
+	$(GO) build -o /tmp/impressions-serve-check/benchrunner ./cmd/benchrunner
+	@set -e; cd /tmp/impressions-serve-check; \
+	./impressionsd -addr 127.0.0.1:0 -workers 4 > daemon.log 2>&1 & dpid=$$!; \
+	trap 'kill -TERM $$dpid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/^impressionsd: listening on //p' daemon.log); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "daemon never came up:"; cat daemon.log; exit 1; }; \
+	./benchrunner serve -base "http://$$addr" -check -requests 24 -specs 6 \
+		-bench-json SERVE_$(BENCH_DATE).json; \
+	kill -TERM $$dpid; wait $$dpid; \
+	grep -q 'impressionsd: stopped' daemon.log; \
+	cp SERVE_$(BENCH_DATE).json $(CURDIR)/; \
+	echo "serve-check: OK (wrote SERVE_$(BENCH_DATE).json)"
 
 # Local mirror of the CI memory-bound job: a 1M-file streamed plan build
 # must hold peak live heap under its hard cap (see

@@ -9,6 +9,11 @@
 //	benchrunner -exp fig1
 //	benchrunner -all -quick
 //	benchrunner -all -out results.txt
+//
+// The `serve` subcommand benchmarks a running impressionsd daemon instead
+// (plans/sec, cache hit rate, latency percentiles; see serve.go):
+//
+//	benchrunner serve -base http://127.0.0.1:7077 -check -bench-json SERVE.json
 package main
 
 import (
@@ -29,6 +34,9 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
 		expFlag    = fs.String("exp", "", "run a single experiment (see -list)")

@@ -1,0 +1,132 @@
+// Command impressionsd is the generation-as-a-service daemon: a long-running
+// HTTP server exposing the distributed pipeline's plan builder behind a
+// content-addressed plan cache, per-shard plan slicing for pull-based
+// workers, and inline generation for small images.
+//
+// Endpoints:
+//
+//	POST /v1/plans                     build-or-fetch a plan for a JSON spec
+//	GET  /v1/plans/{fp}/shards/{i}     pull one shard's self-contained view
+//	POST /v1/generate                  generate a small image inline (digest + report)
+//	GET  /v1/stats                     cache and worker counters
+//	GET  /healthz                      readiness
+//
+// Examples:
+//
+//	impressionsd -addr :7077
+//	impressionsd -addr 127.0.0.1:0 -store disk -store-dir /var/cache/impressions
+//	impressionsd -workers 4 -cache-bytes 67108864 -request-timeout 2m
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests for up to -drain-timeout before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"impressions/internal/serve"
+)
+
+func main() {
+	os.Exit(Main(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Main runs the daemon; split from main for testability.
+func Main(args []string, stdout, stderr io.Writer) int {
+	if err := run(args, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "impressionsd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impressionsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr           = fs.String("addr", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
+		storeKind      = fs.String("store", "mem", "plan store backend: mem (LRU with a byte budget) or disk")
+		storeDir       = fs.String("store-dir", "", "plan directory for -store disk (required with it)")
+		cacheBytes     = fs.Int64("cache-bytes", 0, "byte budget of the in-memory plan cache (0 selects 256 MiB)")
+		workers        = fs.Int("workers", 0, "max concurrent heavy requests (0 selects GOMAXPROCS)")
+		requestTimeout = fs.Duration("request-timeout", 5*time.Minute, "per-request deadline for builds and generations")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long to drain in-flight requests on shutdown")
+		maxInline      = fs.Int("max-inline-files", 0, "largest normalized file count /v1/generate accepts (0 selects the default)")
+		maxShards      = fs.Int("max-shards", 0, "largest shard count a plan request may ask for (0 selects the default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	var store serve.PlanStore
+	switch *storeKind {
+	case "mem":
+		store = serve.NewMemStore(*cacheBytes)
+	case "disk":
+		if *storeDir == "" {
+			return fmt.Errorf("-store disk requires -store-dir")
+		}
+		ds, err := serve.NewDiskStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		store = ds
+	default:
+		return fmt.Errorf("unknown store %q (want mem or disk)", *storeKind)
+	}
+
+	srv := serve.New(serve.Options{
+		Store:          store,
+		Workers:        *workers,
+		RequestTimeout: *requestTimeout,
+		MaxInlineFiles: *maxInline,
+		MaxShards:      *maxShards,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is the daemon's readiness contract: scripts
+	// (and the boot test) parse it to learn the port when -addr used port 0.
+	fmt.Fprintf(stdout, "impressionsd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(stdout, "impressionsd: draining (up to %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "impressionsd: stopped")
+	return nil
+}

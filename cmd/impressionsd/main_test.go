@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read the daemon's stdout while it is writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonBootServeDrain boots the daemon on an ephemeral port, serves a
+// request through it, sends SIGTERM, and requires a clean drained exit.
+func TestDaemonBootServeDrain(t *testing.T) {
+	var stdout syncBuffer
+	var stderr bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- Main([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"}, &stdout, &stderr)
+	}()
+
+	// The listening line is the readiness contract; parse the bound address
+	// from it.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		out := stdout.String()
+		if i := strings.Index(out, "listening on "); i >= 0 {
+			rest := out[i+len("listening on "):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				addr = rest[:j]
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("daemon never printed its listening line; stderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	// A real request through the full stack.
+	body := strings.NewReader(`{"spec":{"seed":3,"num_files":50,"num_dirs":10,"fs_size_bytes":51200}}`)
+	req, err = http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/plans", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/plans: %v", err)
+	}
+	doc, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/plans: HTTP %d, read err %v", resp.StatusCode, err)
+	}
+	if !bytes.Contains(doc, []byte(`"header"`)) {
+		t.Fatalf("plan response does not look like a plan document: %.80s", doc)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain and exit after SIGTERM")
+	}
+	if out := stdout.String(); !strings.Contains(out, "stopped") {
+		t.Fatalf("daemon never reported a clean stop; stdout: %s", out)
+	}
+}

@@ -1,0 +1,115 @@
+package impressions
+
+import (
+	"context"
+	"io"
+
+	"impressions/internal/distribute"
+)
+
+// The distributed pipeline's public surface: plan → shard workers → merge,
+// re-exported from internal/distribute. The contract is exact determinism —
+// for a fixed seed, plan → K workers → merge produces an image
+// byte-identical to a single-process Generate, for any K, any process
+// placement, and any failure/retry history, because every RNG stream is a
+// pure function of the master seed and a stable key.
+
+// Plan is the serializable unit of work distribution: fully resolved image
+// metadata plus a balanced subtree partition. Self-contained — a worker
+// needs nothing but the plan document and a shard index.
+type Plan = distribute.Plan
+
+// OpenPlan is a validated, unpacked plan ready for in-process execution.
+type OpenPlan = distribute.OpenPlan
+
+// ShardView is everything one worker needs to execute a single shard.
+type ShardView = distribute.ShardView
+
+// Manifest is a worker's sealed proof of work for one shard.
+type Manifest = distribute.Manifest
+
+// WorkerOptions controls one shard execution (permissions, parallelism,
+// metadata-only mode, cancellation).
+type WorkerOptions = distribute.WorkerOptions
+
+// MergeResult is the verified outcome of stitching shard manifests back
+// into one image: the image, its report, and the canonical digest.
+type MergeResult = distribute.MergeResult
+
+// Audit grades an incomplete manifest set shard by shard, the entry point
+// for resuming a partially failed distributed run.
+type Audit = distribute.Audit
+
+// BuildPlan resolves the metadata pass for cfg and partitions it into
+// maxShards balanced subtree shards, retaining the image for in-process
+// execution. chunkSize sets metadata records per serialized chunk (0 picks
+// the default).
+func BuildPlan(cfg Config, maxShards, chunkSize int) (*Plan, error) {
+	return distribute.BuildPlan(cfg, maxShards, chunkSize)
+}
+
+// BuildPlanContext is BuildPlan with cancellation.
+func BuildPlanContext(ctx context.Context, cfg Config, maxShards, chunkSize int) (*Plan, error) {
+	return distribute.BuildPlanContext(ctx, cfg, maxShards, chunkSize)
+}
+
+// StreamPlan builds a plan and writes its complete wire document to w in
+// one streaming pass, holding O(chunk) file records — the out-of-core
+// planner. The bytes are identical to BuildPlan + Encode for the same
+// inputs.
+func StreamPlan(cfg Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
+	return distribute.StreamPlan(cfg, maxShards, chunkSize, w)
+}
+
+// StreamPlanContext is StreamPlan with cancellation.
+func StreamPlanContext(ctx context.Context, cfg Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
+	return distribute.StreamPlanContext(ctx, cfg, maxShards, chunkSize, w)
+}
+
+// LoadPlan reads and opens a plan file for in-process execution.
+func LoadPlan(path string) (*OpenPlan, error) { return distribute.LoadPlan(path) }
+
+// LoadPlanShard reads a plan file through the shard-pruning decoder,
+// retaining only the given shard's records — a worker's memory is bounded
+// by its shard, never the image.
+func LoadPlanShard(path string, shard int) (*ShardView, error) {
+	return distribute.LoadPlanShard(path, shard)
+}
+
+// DecodeShardView reads a self-contained shard document (as served by
+// impressionsd's shard endpoint, or written by ShardView.Encode).
+func DecodeShardView(r io.Reader) (*ShardView, error) { return distribute.DecodeShardView(r) }
+
+// ExecuteShardView materializes one shard under outRoot and returns its
+// sealed manifest. Shards share nothing; run any number concurrently, in
+// any placement.
+func ExecuteShardView(v *ShardView, outRoot string, opts WorkerOptions) (*Manifest, error) {
+	return distribute.ExecuteShardView(v, outRoot, opts)
+}
+
+// Merge verifies a complete manifest set against the plan and stitches the
+// shards back into a single image, report, and canonical digest.
+func Merge(p *OpenPlan, manifests []*Manifest) (*MergeResult, error) {
+	return distribute.Merge(p, manifests)
+}
+
+// AuditManifests grades a (possibly incomplete, possibly duplicated)
+// manifest set shard by shard, so a failed run can be resumed instead of
+// restarted.
+func AuditManifests(p *OpenPlan, manifests []*Manifest) (*Audit, error) {
+	return distribute.AuditManifests(p, manifests)
+}
+
+// MergeAudited merges a complete audit's verified manifests.
+func MergeAudited(p *OpenPlan, audit *Audit) (*MergeResult, error) {
+	return distribute.MergeAudited(p, audit)
+}
+
+// SpecFingerprint returns the content address (SHA-256 hex) of the plan a
+// spec resolves to under the given sharding parameters. The spec is
+// normalized first, so equivalent specs share an address; plan building is
+// deterministic, so equal addresses imply byte-identical plan documents —
+// the property impressionsd's plan cache is keyed on.
+func SpecFingerprint(spec Spec, maxShards, chunkSize int) (string, error) {
+	return distribute.SpecFingerprint(spec, maxShards, chunkSize)
+}

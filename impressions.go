@@ -29,14 +29,55 @@
 // randomness is drawn from RNG streams derived from the master seed and
 // stable shard keys, so a fixed seed yields a byte-identical image at every
 // parallelism level; see README.md for the pipeline decomposition.
+//
+// # Cancellation
+//
+// Every long-running entry point has a context-aware form — GenerateContext,
+// GenerateStreamContext, MaterializeOptions.Context — whose worker loops
+// poll the context between shards (generation) or files (materialization,
+// digests). Cancelling returns ctx.Err() promptly without affecting
+// determinism: partial results are discarded, never reused. The plain forms
+// are thin wrappers over context.Background().
+//
+// # Distributed generation and serving
+//
+// The same pipeline scales out: BuildPlan/StreamPlan partition an image into
+// shard plans, ExecuteShardView runs one shard anywhere, and Merge verifies
+// the manifests back into a single image (see the distributed re-exports in
+// this package). cmd/impressionsd wraps it all as a long-running HTTP
+// service with a content-addressed plan cache keyed by SpecFingerprint.
+//
+// # Errors
+//
+// Failures worth dispatching on are wrapped in three sentinels, matched with
+// errors.Is: ErrInvalidSpec (the request can never succeed as written),
+// ErrPlanVersion (artifact from an incompatible format version), and
+// ErrManifestIntegrity (artifact failed an integrity check).
 package impressions
 
 import (
+	"context"
+
 	"impressions/internal/content"
 	"impressions/internal/core"
 	"impressions/internal/dataset"
 	"impressions/internal/fsimage"
 	"impressions/internal/namespace"
+)
+
+// Sentinel errors, for errors.Is dispatch. The HTTP service maps them to
+// status codes (400, 409, 500 respectively); programmatic callers can do the
+// same kind of triage without string matching.
+var (
+	// ErrInvalidSpec marks a spec or config that can never generate: negative
+	// counts, unknown distribution names, out-of-range parameters.
+	ErrInvalidSpec = fsimage.ErrInvalidSpec
+	// ErrPlanVersion marks a plan or manifest from an incompatible wire
+	// format version (or digest formula) — rebuild it with this version.
+	ErrPlanVersion = fsimage.ErrPlanVersion
+	// ErrManifestIntegrity marks an artifact that failed an integrity check:
+	// a tampered manifest, a corrupted plan chunk, a truncated stream.
+	ErrManifestIntegrity = fsimage.ErrManifestIntegrity
 )
 
 // Config is the user-facing configuration for generating one image. It is an
@@ -101,6 +142,15 @@ const (
 // unspecified parameter, and generates an image.
 func Generate(cfg Config) (*Result, error) { return core.GenerateImage(cfg) }
 
+// GenerateContext is Generate with cancellation: the metadata phases check
+// ctx between passes and the sharded worker loops poll it per shard, so a
+// caller (a server, a test with a deadline) can abandon a generation mid-run
+// and get ctx.Err() back promptly. Cancellation never changes what a
+// completed run produces — partial state is discarded, not reused.
+func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
+	return core.GenerateImageContext(ctx, cfg)
+}
+
 // GenerateStream generates an image and streams its metadata records into
 // sink instead of retaining an Image, so memory stays bounded by what the
 // sink keeps — the path for images too large to hold (10^8 files and up).
@@ -111,6 +161,17 @@ func GenerateStream(cfg Config, sink RecordSink) (Report, error) {
 		return Report{}, err
 	}
 	return gen.GenerateStream(sink)
+}
+
+// GenerateStreamContext is GenerateStream with cancellation: ctx is honored
+// through the metadata pass and polled between chunks of streamed records,
+// so a sink feeding a dead consumer stops promptly.
+func GenerateStreamContext(ctx context.Context, cfg Config, sink RecordSink) (Report, error) {
+	gen, err := core.NewGenerator(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return gen.GenerateStreamContext(ctx, sink)
 }
 
 // NewGenerator returns a reusable generator for the configuration. Successive

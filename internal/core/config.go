@@ -1,11 +1,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"impressions/internal/content"
 	"impressions/internal/dataset"
+	"impressions/internal/fsimage"
 	"impressions/internal/namespace"
 	"impressions/internal/stats"
 )
@@ -108,8 +108,8 @@ type Config struct {
 const DefaultFilesPerDir = 5
 
 // ErrEmptyConfig is returned when neither a file-system size nor a file count
-// is specified.
-var ErrEmptyConfig = errors.New("core: config needs FSSizeBytes or NumFiles")
+// is specified. It wraps fsimage.ErrInvalidSpec.
+var ErrEmptyConfig = fmt.Errorf("core: config needs FSSizeBytes or NumFiles (%w)", fsimage.ErrInvalidSpec)
 
 // Normalize fills in defaults and derives missing counts. It returns a copy;
 // the receiver is not modified.
@@ -192,25 +192,27 @@ func (c Config) Normalize() (Config, error) {
 	return out, nil
 }
 
-// Validate reports configuration errors that Normalize cannot repair.
+// Validate reports configuration errors that Normalize cannot repair. Every
+// failure wraps fsimage.ErrInvalidSpec, so callers embedding generation (the
+// HTTP daemon in particular) can classify bad input with errors.Is.
 func (c Config) Validate() error {
 	if c.FSSizeBytes < 0 {
-		return fmt.Errorf("core: negative file-system size %d", c.FSSizeBytes)
+		return fmt.Errorf("core: negative file-system size %d (%w)", c.FSSizeBytes, fsimage.ErrInvalidSpec)
 	}
 	if c.NumFiles < 0 {
-		return fmt.Errorf("core: negative file count %d", c.NumFiles)
+		return fmt.Errorf("core: negative file count %d (%w)", c.NumFiles, fsimage.ErrInvalidSpec)
 	}
 	if c.NumDirs < 0 {
-		return fmt.Errorf("core: negative directory count %d", c.NumDirs)
+		return fmt.Errorf("core: negative directory count %d (%w)", c.NumDirs, fsimage.ErrInvalidSpec)
 	}
 	if c.LayoutScore < 0 || c.LayoutScore > 1 {
-		return fmt.Errorf("core: layout score %.3f outside [0,1]", c.LayoutScore)
+		return fmt.Errorf("core: layout score %.3f outside [0,1] (%w)", c.LayoutScore, fsimage.ErrInvalidSpec)
 	}
 	if c.Beta < 0 || c.Beta >= 1 {
-		return fmt.Errorf("core: beta %.3f outside [0,1)", c.Beta)
+		return fmt.Errorf("core: beta %.3f outside [0,1) (%w)", c.Beta, fsimage.ErrInvalidSpec)
 	}
 	if c.Parallelism < 0 {
-		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
+		return fmt.Errorf("core: negative parallelism %d (%w)", c.Parallelism, fsimage.ErrInvalidSpec)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -53,10 +54,19 @@ func (g *Generator) Config() Config { return g.cfg }
 // into an in-memory image, which phase 5 and the library API then use.
 // Pipelines that must not hold the image use GenerateStream instead.
 func (g *Generator) Generate() (*Result, error) {
+	return g.GenerateContext(context.Background())
+}
+
+// GenerateContext is Generate with cancellation: the sharded metadata phases
+// poll ctx between shards and the run aborts with ctx.Err() as soon as every
+// in-flight shard callback returns. Cancellation never corrupts state — the
+// generator is stateless between runs — it only abandons work, so a server
+// handler can cut a disconnected client's generation short.
+func (g *Generator) GenerateContext(ctx context.Context) (*Result, error) {
 	cfg := g.cfg
 	res := &Result{}
 
-	m, err := g.ResolveMetadata()
+	m, err := g.ResolveMetadataContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -133,11 +143,17 @@ func roundSizes(sizes []float64) {
 // files falling in the "others" bucket receive a random three-character
 // extension, exactly as §3.3.2 describes. Files are processed in fixed-size
 // shards, each drawing from its own derived stream, so the assignment is
-// identical at every parallelism level.
-func (g *Generator) assignExtensions(rng *stats.RNG, n int) []string {
+// identical at every parallelism level. Cancellation is polled per shard:
+// a cancelled context makes remaining shards no-ops and the error is
+// surfaced by the caller's post-phase check (the partial column is
+// discarded, so determinism is unaffected).
+func (g *Generator) assignExtensions(ctx context.Context, rng *stats.RNG, n int) []string {
 	table := g.cfg.Dataset.ExtensionsByCount()
 	out := make([]string, n)
 	parallel.Run(effectiveParallelism(g.cfg.Parallelism), parallel.Shards(n), func(s int) {
+		if ctx.Err() != nil {
+			return
+		}
 		srng := rng.SplitN(uint64(s))
 		lo, hi := parallel.Bounds(n, s)
 		for i := lo; i < hi; i++ {
@@ -172,7 +188,10 @@ func (g *Generator) assignExtensions(rng *stats.RNG, n int) []string {
 // placeFiles returns the parent directory column; it emits no records — a
 // file's record (name, depth, extension) is derived from the columns at
 // consumption time, whether that is the retained Image or a record stream.
-func (g *Generator) placeFiles(tree *namespace.Tree, sizes []float64, rng *stats.RNG) []int32 {
+// Cancellation is polled per shard (pass 1) and per depth level (pass 2);
+// on cancellation the partially filled columns are discarded by the caller,
+// so an aborted run never leaks a half-placed image.
+func (g *Generator) placeFiles(ctx context.Context, tree *namespace.Tree, sizes []float64, rng *stats.RNG) ([]int32, error) {
 	placer := namespace.NewPlacer(tree, g.placerConfig(tree), rng.Fork("placement"))
 	workers := effectiveParallelism(g.cfg.Parallelism)
 	n := len(sizes)
@@ -184,6 +203,9 @@ func (g *Generator) placeFiles(tree *namespace.Tree, sizes []float64, rng *stats
 	parents := make([]int32, n) // parent dir ID; -1 until assigned
 	depthStream := rng.Fork("placement/depth")
 	parallel.Run(workers, parallel.Shards(n), func(s int) {
+		if ctx.Err() != nil {
+			return
+		}
 		srng := depthStream.SplitN(uint64(s))
 		lo, hi := parallel.Bounds(n, s)
 		for i := lo; i < hi; i++ {
@@ -196,6 +218,9 @@ func (g *Generator) placeFiles(tree *namespace.Tree, sizes []float64, rng *stats
 			depths[i] = int32(placer.ChooseDepth(int64(sizes[i]), srng))
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Commit special placements before the parent pass so every depth worker
 	// starts from the same directory counters.
@@ -213,6 +238,9 @@ func (g *Generator) placeFiles(tree *namespace.Tree, sizes []float64, rng *stats
 	// independent; each draws from its own stream keyed by the depth.
 	parentStream := rng.Fork("placement/parent")
 	parallel.Run(workers, len(byDepth), func(d int) {
+		if ctx.Err() != nil {
+			return
+		}
 		files := byDepth[d]
 		if len(files) == 0 {
 			return
@@ -224,7 +252,10 @@ func (g *Generator) placeFiles(tree *namespace.Tree, sizes []float64, rng *stats
 			parents[i] = int32(dirID)
 		}
 	})
-	return parents
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return parents, nil
 }
 
 func randomExtension(rng *stats.RNG) string {
@@ -286,6 +317,14 @@ func (g *Generator) simulateDisk(img *fsimage.Image, rng *stats.RNG) (*disk.Disk
 	return d, d.LayoutScore(), nil
 }
 
+// Spec returns the reproducibility spec the generator's normalized
+// configuration would record, without generating anything. It is the
+// canonical form of the configuration — two configs normalizing to the same
+// spec generate identical images — which is what the plan cache keys on
+// (distribute.SpecFingerprint) and what clients send to the generation
+// service.
+func (g *Generator) Spec() fsimage.Spec { return g.buildSpec() }
+
 // buildSpec records the reproducibility spec for the configuration.
 func (g *Generator) buildSpec() fsimage.Spec {
 	cfg := g.cfg
@@ -316,11 +355,17 @@ func (g *Generator) buildSpec() fsimage.Spec {
 // GenerateImage is a convenience wrapper: configure, generate, and return the
 // result in one call.
 func GenerateImage(cfg Config) (*Result, error) {
+	return GenerateImageContext(context.Background(), cfg)
+}
+
+// GenerateImageContext is GenerateImage with cancellation; see
+// Generator.GenerateContext for the semantics.
+func GenerateImageContext(ctx context.Context, cfg Config) (*Result, error) {
 	gen, err := NewGenerator(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return gen.Generate()
+	return gen.GenerateContext(ctx)
 }
 
 // seconds returns the elapsed wall-clock seconds since start.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -106,9 +107,22 @@ func (m *Metadata) Image() *fsimage.Image {
 // Generate and GenerateStream, and the generation side of the fused
 // distributed planner.
 func (g *Generator) ResolveMetadata() (*Metadata, error) {
+	return g.ResolveMetadataContext(context.Background())
+}
+
+// ResolveMetadataContext is ResolveMetadata with cancellation: ctx is
+// checked between phases and polled per shard inside the sharded phases
+// (extensions and both placement passes), so a server can abandon a
+// disconnected client's metadata pass mid-phase. On cancellation the
+// partial columns are discarded and ctx.Err() is returned.
+func (g *Generator) ResolveMetadataContext(ctx context.Context) (*Metadata, error) {
 	cfg := g.cfg
 	rng := stats.NewRNG(cfg.Seed)
 	phases := map[string]float64{}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 1: directory structure (namespace skeleton), built with
 	// deterministic speculative attachment: identical trees at every
@@ -120,6 +134,9 @@ func (g *Generator) ResolveMetadata() (*Metadata, error) {
 		tree.MarkSpecial(cfg.SpecialDirectories)
 	}
 	phases["directory structure"] = seconds(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: file sizes under the sum constraint (§3.4).
 	start = time.Now()
@@ -128,16 +145,25 @@ func (g *Generator) ResolveMetadata() (*Metadata, error) {
 		return nil, err
 	}
 	phases["file sizes distribution"] = seconds(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: extensions from the percentile table (sharded workers).
 	start = time.Now()
-	exts := g.assignExtensions(rng.Fork("extensions"), len(sizes))
+	exts := g.assignExtensions(ctx, rng.Fork("extensions"), len(sizes))
 	phases["popular extensions"] = seconds(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 4: file depths and parent directories (multiplicative model),
 	// run as the two-pass sharded placement pipeline.
 	start = time.Now()
-	parents := g.placeFiles(tree, sizes, rng)
+	parents, err := g.placeFiles(ctx, tree, sizes, rng)
+	if err != nil {
+		return nil, err
+	}
 	phases["file and bytes with depth"] = seconds(start)
 
 	var total int64
@@ -188,15 +214,52 @@ func abs64(v int64) float64 {
 // fsimage's RecordSink implementations). Disk-layout simulation needs the
 // retained image and is rejected here.
 func (g *Generator) GenerateStream(sink fsimage.RecordSink) (fsimage.Report, error) {
+	return g.GenerateStreamContext(context.Background(), sink)
+}
+
+// GenerateStreamContext is GenerateStream with cancellation: the metadata
+// pass honors ctx as in ResolveMetadataContext, and the record replay checks
+// ctx between chunks of records so a sink wired to a dead client does not
+// stream to nowhere.
+func (g *Generator) GenerateStreamContext(ctx context.Context, sink fsimage.RecordSink) (fsimage.Report, error) {
 	if g.cfg.SimulateDisk {
 		return fsimage.Report{}, fmt.Errorf("core: disk-layout simulation requires the retained path (Generate)")
 	}
-	m, err := g.ResolveMetadata()
+	m, err := g.ResolveMetadataContext(ctx)
 	if err != nil {
 		return fsimage.Report{}, err
 	}
-	if err := m.StreamRecords(sink); err != nil {
+	if err := m.streamRecordsContext(ctx, sink); err != nil {
 		return fsimage.Report{}, err
 	}
 	return m.report(g.cfg, 1.0), nil
+}
+
+// streamRecordsContext replays the metadata into sink, polling ctx every
+// cancelCheckStride records (per-record checks would dominate the replay
+// loop's cost).
+func (m *Metadata) streamRecordsContext(ctx context.Context, sink fsimage.RecordSink) error {
+	const cancelCheckStride = 4096
+	for i := range m.tree.Dirs {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		d := &m.tree.Dirs[i]
+		if err := sink.AddDir(fsimage.DirRecord{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias}); err != nil {
+			return err
+		}
+	}
+	for i := range m.sizes {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := sink.AddFile(m.FileAt(i)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

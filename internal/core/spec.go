@@ -20,10 +20,10 @@ import (
 func ConfigFromSpec(spec fsimage.Spec) (Config, error) {
 	shape, err := namespace.ParseShape(spec.TreeShape)
 	if err != nil {
-		return Config{}, fmt.Errorf("core: spec: %w", err)
+		return Config{}, fmt.Errorf("core: spec: %v (%w)", err, fsimage.ErrInvalidSpec)
 	}
 	if spec.NumFiles <= 0 && spec.FSSizeBytes <= 0 {
-		return Config{}, fmt.Errorf("core: spec has neither a file count nor a size")
+		return Config{}, fmt.Errorf("core: spec has neither a file count nor a size (%w)", fsimage.ErrInvalidSpec)
 	}
 	cfg := Config{
 		Seed:                  spec.Seed,

@@ -109,11 +109,11 @@ func (a *Audit) Verified() int {
 // truth Merge, Audit, and the distrun resume path all share.
 func verifyShardManifest(p *OpenPlan, fingerprint string, s int, m *Manifest) error {
 	if m.FormatVersion != FormatVersion {
-		return fmt.Errorf("distribute: shard %d manifest format v%d, this build speaks v%d", s, m.FormatVersion, FormatVersion)
+		return fmt.Errorf("distribute: shard %d manifest format v%d, this build speaks v%d (%w)", s, m.FormatVersion, FormatVersion, fsimage.ErrPlanVersion)
 	}
 	if m.PlanFingerprint != fingerprint {
-		return fmt.Errorf("distribute: shard %d manifest was produced for a different plan (fingerprint %s, this plan is %s)",
-			s, m.PlanFingerprint, fingerprint)
+		return fmt.Errorf("distribute: shard %d manifest was produced for a different plan (fingerprint %s, this plan is %s) (%w)",
+			s, m.PlanFingerprint, fingerprint, fsimage.ErrManifestIntegrity)
 	}
 	if err := m.VerifySelf(); err != nil {
 		return err

@@ -38,6 +38,7 @@ package distribute
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -140,9 +141,9 @@ func contentStreamKey() stats.StreamKey {
 // resolvePlanMetadata validates cfg and runs the columnar metadata pass
 // with disk simulation forced off (plans describe images; the expensive
 // content pass is the workers' job).
-func resolvePlanMetadata(cfg core.Config, maxShards int) (*core.Metadata, error) {
+func resolvePlanMetadata(ctx context.Context, cfg core.Config, maxShards int) (*core.Metadata, error) {
 	if maxShards < 1 {
-		return nil, fmt.Errorf("distribute: shard count %d < 1", maxShards)
+		return nil, fmt.Errorf("distribute: shard count %d < 1 (%w)", maxShards, fsimage.ErrInvalidSpec)
 	}
 	cfg.SimulateDisk = false
 	cfg.LayoutScore = 1.0
@@ -150,7 +151,7 @@ func resolvePlanMetadata(cfg core.Config, maxShards int) (*core.Metadata, error)
 	if err != nil {
 		return nil, fmt.Errorf("distribute: %w", err)
 	}
-	m, err := gen.ResolveMetadata()
+	m, err := gen.ResolveMetadataContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("distribute: metadata pass: %w", err)
 	}
@@ -205,7 +206,13 @@ func planScaffold(m *core.Metadata, maxShards, chunkSize int) (*Plan, *namespace
 // be Opened and executed in-process without a decode round trip; pipelines
 // that only need the plan file use StreamPlan and never hold the image.
 func BuildPlan(cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
-	m, err := resolvePlanMetadata(cfg, maxShards)
+	return BuildPlanContext(context.Background(), cfg, maxShards, chunkSize)
+}
+
+// BuildPlanContext is BuildPlan with cancellation: the metadata pass honors
+// ctx (see core.ResolveMetadataContext).
+func BuildPlanContext(ctx context.Context, cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
+	m, err := resolvePlanMetadata(ctx, cfg, maxShards)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +242,15 @@ func BuildPlan(cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
 // is sealed (fingerprintable) but retains no image; Open it via a decode
 // (LoadPlan / LoadPlanShard) if execution state is needed.
 func StreamPlan(cfg core.Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
-	m, err := resolvePlanMetadata(cfg, maxShards)
+	return StreamPlanContext(context.Background(), cfg, maxShards, chunkSize, w)
+}
+
+// StreamPlanContext is StreamPlan with cancellation: the metadata pass
+// honors ctx, so a server can abandon a plan build whose requester is gone.
+// On cancellation the partially written document is abandoned mid-stream —
+// callers staging into a store must not commit it.
+func StreamPlanContext(ctx context.Context, cfg core.Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
+	m, err := resolvePlanMetadata(ctx, cfg, maxShards)
 	if err != nil {
 		return nil, err
 	}
@@ -352,7 +367,7 @@ func decodePlanStream(r io.Reader, open func(*Plan) (fsimage.RecordSink, error))
 		return nil, fmt.Errorf("distribute: decoding plan header: %w", err)
 	}
 	if p.FormatVersion != FormatVersion {
-		return nil, fmt.Errorf("distribute: plan format v%d, this build speaks v%d", p.FormatVersion, FormatVersion)
+		return nil, fmt.Errorf("distribute: plan format v%d, this build speaks v%d (%w)", p.FormatVersion, FormatVersion, fsimage.ErrPlanVersion)
 	}
 	sink, err := open(&p)
 	if err != nil {
@@ -397,10 +412,10 @@ func decodePlanStream(r io.Reader, open func(*Plan) (fsimage.RecordSink, error))
 		return nil, err
 	}
 	if cdec.Chunks() != tr.Chunks {
-		return nil, fmt.Errorf("distribute: plan trailer promises %d metadata chunks, stream carried %d — truncated?", tr.Chunks, cdec.Chunks())
+		return nil, fmt.Errorf("distribute: plan trailer promises %d metadata chunks, stream carried %d — truncated? (%w)", tr.Chunks, cdec.Chunks(), fsimage.ErrManifestIntegrity)
 	}
 	if got := cdec.ChainHash(); got != tr.ImageSHA256 {
-		return nil, fmt.Errorf("distribute: embedded image hash mismatch: plan says %s, chunks chain to %s", tr.ImageSHA256, got)
+		return nil, fmt.Errorf("distribute: embedded image hash mismatch: plan says %s, chunks chain to %s (%w)", tr.ImageSHA256, got, fsimage.ErrManifestIntegrity)
 	}
 	p.Chunks = tr.Chunks
 	p.ImageSHA256 = tr.ImageSHA256
@@ -489,10 +504,10 @@ type OpenPlan struct {
 // metadata's chunk-level integrity is verified earlier, by DecodePlan.
 func (p *Plan) Open() (*OpenPlan, error) {
 	if p.FormatVersion != FormatVersion {
-		return nil, fmt.Errorf("distribute: plan format v%d, this build speaks v%d", p.FormatVersion, FormatVersion)
+		return nil, fmt.Errorf("distribute: plan format v%d, this build speaks v%d (%w)", p.FormatVersion, FormatVersion, fsimage.ErrPlanVersion)
 	}
 	if p.DigestAlgo != fsimage.DigestVersion {
-		return nil, fmt.Errorf("distribute: plan digest algo %q, this build computes %q", p.DigestAlgo, fsimage.DigestVersion)
+		return nil, fmt.Errorf("distribute: plan digest algo %q, this build computes %q (%w)", p.DigestAlgo, fsimage.DigestVersion, fsimage.ErrPlanVersion)
 	}
 	img := p.img
 	if img == nil {

@@ -47,10 +47,10 @@ type shardPruner struct {
 
 func newShardPruner(hdr *Plan, shard int) (*shardPruner, error) {
 	if hdr.DigestAlgo != fsimage.DigestVersion {
-		return nil, fmt.Errorf("distribute: plan digest algo %q, this build computes %q", hdr.DigestAlgo, fsimage.DigestVersion)
+		return nil, fmt.Errorf("distribute: plan digest algo %q, this build computes %q (%w)", hdr.DigestAlgo, fsimage.DigestVersion, fsimage.ErrPlanVersion)
 	}
 	if shard < 0 || shard >= len(hdr.Shards) {
-		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards)", shard, len(hdr.Shards))
+		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards) (%w)", shard, len(hdr.Shards), fsimage.ErrInvalidSpec)
 	}
 	pr := &shardPruner{hdr: hdr, shard: shard}
 	// The header is untrusted until the stream verifies: clamp the

@@ -1,6 +1,7 @@
 package distribute
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -63,11 +64,11 @@ func (m *Manifest) Seal() { m.ManifestSHA256 = m.selfHash() }
 // VerifySelf checks the manifest's self-integrity hash.
 func (m *Manifest) VerifySelf() error {
 	if m.ManifestSHA256 == "" {
-		return fmt.Errorf("distribute: shard %d manifest is unsealed", m.Shard)
+		return fmt.Errorf("distribute: shard %d manifest is unsealed (%w)", m.Shard, fsimage.ErrManifestIntegrity)
 	}
 	if got := m.selfHash(); got != m.ManifestSHA256 {
-		return fmt.Errorf("distribute: shard %d manifest failed its integrity check (recorded %s, recomputed %s) — tampered or truncated",
-			m.Shard, m.ManifestSHA256, got)
+		return fmt.Errorf("distribute: shard %d manifest failed its integrity check (recorded %s, recomputed %s) — tampered or truncated (%w)",
+			m.Shard, m.ManifestSHA256, got, fsimage.ErrManifestIntegrity)
 	}
 	return nil
 }
@@ -111,6 +112,10 @@ type WorkerOptions struct {
 	// worker; 0 selects runtime.NumCPU(), 1 forces the serial path. As
 	// everywhere else, the written bytes are identical at every level.
 	Parallelism int
+	// Context, when non-nil, lets a caller abandon the shard mid-write: the
+	// per-file writer loops poll it between files and return ctx.Err().
+	// Written files are left in place (the resume machinery cleans up).
+	Context context.Context
 }
 
 // ExecuteShard runs one shard of the plan in isolation: it materializes the
@@ -160,6 +165,7 @@ func ExecuteShardView(v *ShardView, outRoot string, opts WorkerOptions) (*Manife
 		MetadataOnly: opts.MetadataOnly,
 		DirPerm:      opts.DirPerm,
 		FilePerm:     opts.FilePerm,
+		Context:      opts.Context,
 	}
 	written, err := materializeShardParallel(v, outRoot, mopts, opts.Parallelism, digests)
 	if err != nil {

@@ -222,17 +222,17 @@ func NewChunkDecoder(sink RecordSink) *ChunkDecoder {
 // record kinds, and directory records after the first file record.
 func (d *ChunkDecoder) AddChunk(c *Chunk) error {
 	if c.Index != d.nextChunk {
-		return fmt.Errorf("fsimage: metadata chunk %d arrived out of order (want chunk %d)", c.Index, d.nextChunk)
+		return fmt.Errorf("fsimage: metadata chunk %d arrived out of order (want chunk %d) (%w)", c.Index, d.nextChunk, ErrManifestIntegrity)
 	}
 	if got := c.RecordsHash(); got != c.SHA256 {
-		return fmt.Errorf("fsimage: metadata chunk %d failed its integrity check (recorded %s, recomputed %s) — corrupted in transit",
-			c.Index, c.SHA256, got)
+		return fmt.Errorf("fsimage: metadata chunk %d failed its integrity check (recorded %s, recomputed %s) — corrupted in transit (%w)",
+			c.Index, c.SHA256, got, ErrManifestIntegrity)
 	}
 	if len(c.Dirs) > 0 && len(c.Files) > 0 {
-		return fmt.Errorf("fsimage: metadata chunk %d mixes directory and file records", c.Index)
+		return fmt.Errorf("fsimage: metadata chunk %d mixes directory and file records (%w)", c.Index, ErrManifestIntegrity)
 	}
 	if len(c.Dirs) > 0 && d.filesSeen {
-		return fmt.Errorf("fsimage: metadata chunk %d carries directories after the file stream began", c.Index)
+		return fmt.Errorf("fsimage: metadata chunk %d carries directories after the file stream began (%w)", c.Index, ErrManifestIntegrity)
 	}
 	for _, rec := range c.Dirs {
 		if err := d.sink.AddDir(rec); err != nil {

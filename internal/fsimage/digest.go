@@ -44,6 +44,7 @@ func (img *Image) ContentDigests(opts MaterializeOptions) ([]string, error) {
 	// Chunks scale with the worker count (per-file streams are ID-keyed, so
 	// boundaries are free to move); a fixed 4096-file chunk would hash any
 	// smaller image serially.
+	ctx := opts.ctx()
 	parallel.RunChunks(opts.Parallelism, len(img.Files), func(lo, hi int) {
 		mu.Lock()
 		failed := firstEr != nil
@@ -53,6 +54,14 @@ func (img *Image) ContentDigests(opts MaterializeOptions) ([]string, error) {
 		}
 		h := sha256.New()
 		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				mu.Lock()
+				if firstEr == nil {
+					firstEr = err
+				}
+				mu.Unlock()
+				return
+			}
 			f := img.Files[i]
 			h.Reset()
 			rng := baseRNG.SplitN(uint64(f.ID))

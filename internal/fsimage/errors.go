@@ -1,0 +1,27 @@
+package fsimage
+
+import "errors"
+
+// Sentinel errors classifying the failures every layer of the pipeline can
+// surface. They live here — the lowest package of the image stack — so core,
+// distribute, and the serving layer can all wrap them with %w at the point of
+// failure, and callers (notably the HTTP daemon, which maps them to status
+// codes) can classify errors with errors.Is instead of string matching.
+var (
+	// ErrInvalidSpec marks configuration or spec errors the caller must fix:
+	// negative counts, out-of-range knobs, an empty spec, an unknown tree
+	// shape. The HTTP layer maps it to 400 Bad Request.
+	ErrInvalidSpec = errors.New("invalid image spec")
+
+	// ErrPlanVersion marks version skew between a serialized artifact (plan,
+	// shard view, manifest) and this build: a different wire format or digest
+	// algorithm. The artifact must be regenerated with a matching build. The
+	// HTTP layer maps it to 409 Conflict.
+	ErrPlanVersion = errors.New("incompatible plan format version")
+
+	// ErrManifestIntegrity marks integrity violations in serialized
+	// artifacts: failed chunk hashes, broken hash chains, unsealed or
+	// tampered manifests, fingerprint mismatches. Data was corrupted,
+	// truncated, or mixed between runs. The HTTP layer maps it to 500.
+	ErrManifestIntegrity = errors.New("artifact integrity violation")
+)

@@ -2,6 +2,7 @@ package fsimage
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -45,6 +46,20 @@ type MaterializeOptions struct {
 	// and its digest are wanted. Slots stay empty with MetadataOnly. Shard
 	// workers write disjoint slots, so no synchronization is needed.
 	Digests []string
+	// Context, when non-nil, cancels the materialization: the per-shard
+	// worker loops poll it between files and abort with its error. Written
+	// files are left in place (a cancelled shard simply stops), so callers
+	// that need a clean tree should write into a staging directory. A nil
+	// Context never cancels.
+	Context context.Context
+}
+
+// ctx returns the cancellation context, defaulting to context.Background().
+func (opts MaterializeOptions) ctx() context.Context {
+	if opts.Context == nil {
+		return context.Background()
+	}
+	return opts.Context
 }
 
 // withDefaults fills in the option defaults; a zero Seed falls back to
@@ -213,8 +228,12 @@ func MaterializeShardRecords(root string, tree *namespace.Tree, dirs []int, file
 	if digests != nil {
 		sum = sha256.New()
 	}
+	ctx := opts.ctx()
 	baseRNG := stats.NewRNG(opts.Seed).Fork(MaterializeStreamLabel)
 	for k, f := range files {
+		if err := ctx.Err(); err != nil {
+			return written, err
+		}
 		p := filepath.Join(root, filepath.FromSlash(filePathIn(tree, f)))
 		// Each file owns a stream keyed by its ID: content depends only on
 		// the seed and the file, never on write order or worker identity.

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"impressions/internal/distribute"
+	"impressions/internal/fsimage"
+)
+
+// Client is a thin typed client for the generation service. Plan and shard
+// responses are exposed as streams so callers decode them exactly like
+// local plan files (distribute.DecodePlan / distribute.DecodeShardView).
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:7077".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// WaitReady polls /healthz until the server answers or ctx expires.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: server at %s never became ready: %w", c.Base, ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// PlanResponse is one streamed plan document plus its cache verdict.
+type PlanResponse struct {
+	// Fingerprint is the plan's content address (cache key).
+	Fingerprint string
+	// Cache is the HeaderCache verdict: hit, miss, coalesced, or bypass.
+	Cache string
+	// Body streams the plan document; the caller must Close it.
+	Body io.ReadCloser
+}
+
+// do sends a JSON request and returns the raw response, converting non-2xx
+// statuses into errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("serve: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		var er errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	return resp, nil
+}
+
+// PostPlan requests the plan for a spec, building it server-side on a cache
+// miss. The returned body streams the plan document.
+func (c *Client) PostPlan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/plans", req)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanResponse{
+		Fingerprint: resp.Header.Get(HeaderFingerprint),
+		Cache:       resp.Header.Get(HeaderCache),
+		Body:        resp.Body,
+	}, nil
+}
+
+// PullShard fetches one shard's self-contained document and decodes it into
+// an executable view.
+func (c *Client) PullShard(ctx context.Context, fingerprint string, shard int) (*distribute.ShardView, error) {
+	resp, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/plans/%s/shards/%d", fingerprint, shard), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return distribute.DecodeShardView(resp.Body)
+}
+
+// Generate runs an inline generation and returns its digest and report.
+func (c *Client) Generate(ctx context.Context, spec fsimage.Spec) (GenerateResponse, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/generate", GenerateRequest{Spec: spec})
+	if err != nil {
+		return GenerateResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out GenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return GenerateResponse{}, fmt.Errorf("serve: decoding generate response: %w", err)
+	}
+	return out, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Stats{}, fmt.Errorf("serve: decoding stats: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"impressions/internal/content"
+	"impressions/internal/core"
+	"impressions/internal/distribute"
+	"impressions/internal/fsimage"
+)
+
+// testSpec is a small but structurally interesting image spec.
+func testSpec(seed int64) fsimage.Spec {
+	return fsimage.Spec{Seed: seed, NumFiles: 300, NumDirs: 60, FSSizeBytes: 300 * 1024}
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *Client) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, &Client{Base: ts.URL, HTTP: ts.Client()}
+}
+
+// gatedStore wraps a PlanStore so tests can hold a build inside Create
+// until released, making concurrency interleavings deterministic.
+type gatedStore struct {
+	PlanStore
+	gate    chan struct{}
+	creates atomic.Int32
+}
+
+func (g *gatedStore) Create(fp string) (PlanWriter, error) {
+	g.creates.Add(1)
+	<-g.gate
+	return g.PlanStore.Create(fp)
+}
+
+// TestConcurrentIdenticalSpecsBuildOnce: two racing requests for the same
+// spec must trigger exactly one plan build, and both must receive
+// byte-identical plan documents.
+func TestConcurrentIdenticalSpecsBuildOnce(t *testing.T) {
+	gs := &gatedStore{PlanStore: NewMemStore(0), gate: make(chan struct{})}
+	srv, c := newTestServer(t, Options{Store: gs})
+	ctx := context.Background()
+	req := PlanRequest{Spec: testSpec(42), Shards: 2}
+
+	bodies := make([][]byte, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	post := func(i int) {
+		defer wg.Done()
+		resp, err := c.PostPlan(ctx, req)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		defer resp.Body.Close()
+		bodies[i], errs[i] = io.ReadAll(resp.Body)
+	}
+	wg.Add(1)
+	go post(0)
+	// Wait until the leader is provably inside the build (blocked in
+	// Create), then race the second request against it.
+	waitFor(t, func() bool { return gs.creates.Load() == 1 })
+	wg.Add(1)
+	go post(1)
+	// Give the second request time to join the in-flight build, then let
+	// the build finish.
+	time.Sleep(50 * time.Millisecond)
+	close(gs.gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatal("racing requests received different plan documents")
+	}
+	if n := gs.creates.Load(); n != 1 {
+		t.Fatalf("store saw %d builds, want 1", n)
+	}
+	st := srv.Stats()
+	if st.PlansBuilt != 1 {
+		t.Fatalf("stats report %d plans built, want 1", st.PlansBuilt)
+	}
+
+	// A third request is a pure cache hit, byte-identical again.
+	resp, err := c.PostPlan(ctx, req)
+	if err != nil {
+		t.Fatalf("third request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.Cache != "hit" {
+		t.Fatalf("third request cache state %q, want hit", resp.Cache)
+	}
+	third, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(third, bodies[0]) {
+		t.Fatal("cache hit served different bytes than the build")
+	}
+	if srv.Stats().PlanCacheHits != 1 {
+		t.Fatalf("stats report %d hits, want 1", srv.Stats().PlanCacheHits)
+	}
+}
+
+// TestCancelledRequestFreesWorkerSlot: with a single worker slot held by a
+// blocked build, a queued request whose client disconnects must give up its
+// place immediately, and the slot must still serve later requests.
+func TestCancelledRequestFreesWorkerSlot(t *testing.T) {
+	gs := &gatedStore{PlanStore: NewMemStore(0), gate: make(chan struct{})}
+	_, c := newTestServer(t, Options{Store: gs, Workers: 1})
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := c.PostPlan(context.Background(), PlanRequest{Spec: testSpec(1)})
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return gs.creates.Load() == 1 })
+
+	// The queued generate waits for the (occupied) slot; cancelling it must
+	// return promptly without ever claiming the slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := c.Generate(ctx, testSpec(2))
+		queued <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-queued:
+		if err == nil {
+			t.Fatal("cancelled queued request reported success")
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("cancelled request took %v to return", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled queued request never returned")
+	}
+
+	// Unblock the build; the slot must drain back to serve new requests.
+	close(gs.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked build failed: %v", err)
+	}
+	gctx, gcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer gcancel()
+	if _, err := c.Generate(gctx, testSpec(3)); err != nil {
+		t.Fatalf("generate after cancellation: %v (worker slot leaked?)", err)
+	}
+}
+
+// TestServedShardsMergeToLocalDigest is the service-level determinism
+// check: pull every shard over HTTP, execute the decoded views, merge the
+// manifests, and require the digest of a plain in-process generation.
+func TestServedShardsMergeToLocalDigest(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	spec := testSpec(1234)
+	const shards = 3
+
+	resp, err := c.PostPlan(ctx, PlanRequest{Spec: spec, Shards: shards})
+	if err != nil {
+		t.Fatalf("PostPlan: %v", err)
+	}
+	planDoc, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := t.TempDir()
+	manifests := make([]*distribute.Manifest, shards)
+	for s := 0; s < shards; s++ {
+		view, err := c.PullShard(ctx, resp.Fingerprint, s)
+		if err != nil {
+			t.Fatalf("PullShard(%d): %v", s, err)
+		}
+		m, err := distribute.ExecuteShardView(view, root, distribute.WorkerOptions{})
+		if err != nil {
+			t.Fatalf("ExecuteShardView(%d): %v", s, err)
+		}
+		manifests[s] = m
+	}
+
+	decoded, err := distribute.DecodePlan(bytes.NewReader(planDoc))
+	if err != nil {
+		t.Fatalf("DecodePlan: %v", err)
+	}
+	open, err := decoded.Open()
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	merged, err := distribute.Merge(open, manifests)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+
+	cfg, err := core.ConfigFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.GenerateImage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localDigest, err := res.Image.Digest(fsimage.MaterializeOptions{
+		Registry: content.NewRegistry(content.KindDefault),
+		Seed:     spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Digest != localDigest {
+		t.Fatalf("served shards merged to %s, local run digests %s", merged.Digest, localDigest)
+	}
+
+	// The inline endpoint must agree too.
+	gen, err := c.Generate(ctx, spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if gen.Digest != localDigest {
+		t.Fatalf("inline generate digest %s != local %s", gen.Digest, localDigest)
+	}
+}
+
+// TestErrorMapping: sentinel errors surface as their documented statuses.
+func TestErrorMapping(t *testing.T) {
+	_, c := newTestServer(t, Options{MaxShards: 4, MaxInlineFiles: 100})
+	ctx := context.Background()
+	base := c.Base
+
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := c.http().Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	get := func(path string) int {
+		t.Helper()
+		resp, err := c.http().Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := post("/v1/plans", `{"spec":{"num_files":-5}}`); got != http.StatusBadRequest {
+		t.Errorf("negative file count: HTTP %d, want 400", got)
+	}
+	if got := post("/v1/plans", `not json`); got != http.StatusBadRequest {
+		t.Errorf("malformed body: HTTP %d, want 400", got)
+	}
+	if got := post("/v1/plans", `{"spec":{"num_files":10},"shards":99}`); got != http.StatusBadRequest {
+		t.Errorf("over-limit shards: HTTP %d, want 400", got)
+	}
+	if got := post("/v1/generate", `{"spec":{"num_files":5000}}`); got != http.StatusBadRequest {
+		t.Errorf("over-limit inline files: HTTP %d, want 400", got)
+	}
+	if got := get("/v1/plans/deadbeef/shards/0"); got != http.StatusNotFound {
+		t.Errorf("unknown fingerprint: HTTP %d, want 404", got)
+	}
+
+	// Store a real plan, then ask for impossible shards of it.
+	resp, err := c.PostPlan(ctx, PlanRequest{Spec: testSpec(9), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := get("/v1/plans/" + resp.Fingerprint + "/shards/7"); got != http.StatusBadRequest {
+		t.Errorf("out-of-range shard: HTTP %d, want 400", got)
+	}
+	if got := get("/v1/plans/" + resp.Fingerprint + "/shards/x"); got != http.StatusBadRequest {
+		t.Errorf("non-numeric shard: HTTP %d, want 400", got)
+	}
+}
+
+// TestWriteErrorStatuses unit-tests the error → status mapping, including
+// the version-skew case that is hard to trigger over HTTP.
+func TestWriteErrorStatuses(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("x (%w)", fsimage.ErrInvalidSpec), http.StatusBadRequest},
+		{fmt.Errorf("x (%w)", fsimage.ErrPlanVersion), http.StatusConflict},
+		{fmt.Errorf("x (%w)", fsimage.ErrManifestIntegrity), http.StatusInternalServerError},
+		{fmt.Errorf("x: %w", ErrPlanNotFound), http.StatusNotFound},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.err)
+		if rec.Code != tc.want {
+			t.Errorf("writeError(%v) = HTTP %d, want %d", tc.err, rec.Code, tc.want)
+		}
+	}
+}
+
+// TestMemStoreLRU: the byte budget evicts oldest-first but never the entry
+// just committed, and open readers survive eviction.
+func TestMemStoreLRU(t *testing.T) {
+	s := NewMemStore(100)
+	put := func(fp string, n int) {
+		t.Helper()
+		w, err := s.Create(fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(bytes.Repeat([]byte{'x'}, n)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", 60)
+	rc, _, err := s.Open("a") // hold a reader across a's eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	put("b", 60) // evicts a (120 > 100)
+	if _, _, err := s.Open("a"); !errors.Is(err, ErrPlanNotFound) {
+		t.Fatalf("a should have been evicted, Open returned %v", err)
+	}
+	if _, _, err := s.Open("b"); err != nil {
+		t.Fatalf("b missing after commit: %v", err)
+	}
+	data, err := io.ReadAll(rc)
+	if err != nil || len(data) != 60 {
+		t.Fatalf("evicted entry's open reader broke: %d bytes, %v", len(data), err)
+	}
+
+	// An entry bigger than the whole budget still caches (it is the newest).
+	put("big", 200)
+	if _, _, err := s.Open("big"); err != nil {
+		t.Fatalf("oversized newest entry evicted: %v", err)
+	}
+	if _, _, err := s.Open("b"); !errors.Is(err, ErrPlanNotFound) {
+		t.Fatal("b survived an eviction that should have claimed it")
+	}
+
+	// Abort leaves no trace.
+	w, _ := s.Create("aborted")
+	w.Write([]byte("zzz"))
+	w.Abort()
+	if _, _, err := s.Open("aborted"); !errors.Is(err, ErrPlanNotFound) {
+		t.Fatal("aborted write became visible")
+	}
+}
+
+// TestDiskStore: commit is atomic and abort leaves nothing behind.
+func TestDiskStore(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Create("fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Open("fp1"); !errors.Is(err, ErrPlanNotFound) {
+		t.Fatal("uncommitted entry is visible")
+	}
+	w.Write([]byte("hello"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rc, size, err := s.Open("fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if size != 5 {
+		t.Fatalf("size %d, want 5", size)
+	}
+	data, _ := io.ReadAll(rc)
+	if string(data) != "hello" {
+		t.Fatalf("read back %q", data)
+	}
+
+	w2, _ := s.Create("fp2")
+	w2.Write([]byte("zzz"))
+	w2.Abort()
+	if _, _, err := s.Open("fp2"); !errors.Is(err, ErrPlanNotFound) {
+		t.Fatal("aborted entry is visible")
+	}
+}
+
+// TestDiskStoreServesPlans: the daemon's disk-backed mode end to end —
+// build once, then hit from the file system.
+func TestDiskStoreServesPlans(t *testing.T) {
+	ds, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c := newTestServer(t, Options{Store: ds})
+	ctx := context.Background()
+	req := PlanRequest{Spec: testSpec(5), Shards: 2}
+
+	first, err := c.PostPlan(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := io.ReadAll(first.Body)
+	first.Body.Close()
+	if first.Cache != "miss" {
+		t.Fatalf("first request cache state %q, want miss", first.Cache)
+	}
+	second, err := c.PostPlan(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(second.Body)
+	second.Body.Close()
+	if second.Cache != "hit" {
+		t.Fatalf("second request cache state %q, want hit", second.Cache)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("disk-served plan differs from the built one")
+	}
+	if st := srv.Stats(); st.PlansBuilt != 1 || st.PlanCacheHits != 1 {
+		t.Fatalf("stats %+v, want 1 build and 1 hit", st)
+	}
+}
+
+// TestFlightGroupFollowerCancellation: a follower abandoning the wait gets
+// its own context error; the leader is unaffected.
+func TestFlightGroupFollowerCancellation(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := g.do(context.Background(), "k", func() error { <-release; return nil })
+		leaderDone <- err
+	}()
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.m["k"] != nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	leader, err := g.do(ctx, "k", func() error { return nil })
+	if leader || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled follower: leader=%t err=%v", leader, err)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

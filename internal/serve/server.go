@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impressions/internal/content"
+	"impressions/internal/core"
+	"impressions/internal/distribute"
+	"impressions/internal/fsimage"
+)
+
+// Options configures a Server. The zero value is usable: in-memory store,
+// one worker slot per CPU, five-minute request deadline.
+type Options struct {
+	// Store is the content-addressed plan cache (default: NewMemStore(0)).
+	Store PlanStore
+	// Workers bounds the concurrent heavy requests — plan builds, shard
+	// extractions, inline generations — across all connections (default:
+	// GOMAXPROCS). Requests beyond the bound queue on their own context, so
+	// a cancelled waiter never consumes a slot.
+	Workers int
+	// RequestTimeout bounds each heavy request (default 5m; < 0 disables).
+	RequestTimeout time.Duration
+	// MaxInlineFiles caps the normalized file count /v1/generate accepts
+	// (default 200000); larger images belong on the plan/worker pipeline.
+	MaxInlineFiles int
+	// MaxShards caps the shard count a plan request may ask for
+	// (default 256).
+	MaxShards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Store == nil {
+		o.Store = NewMemStore(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 5 * time.Minute
+	}
+	if o.MaxInlineFiles <= 0 {
+		o.MaxInlineFiles = 200000
+	}
+	if o.MaxShards <= 0 {
+		o.MaxShards = 256
+	}
+	return o
+}
+
+// Server is the generation service: an http.Handler exposing plan building
+// (content-addressed, single-flight deduplicated, served from the plan
+// store), per-shard plan slicing, and inline generation. All responses
+// stream in O(chunk) memory; determinism is inherited wholesale from the
+// distribute package — a plan served twice, or built by racing requests, is
+// byte-identical.
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	sem     chan struct{}
+	flight  flightGroup
+	started time.Time
+
+	// regs caches one content registry per kind for the process lifetime, so
+	// repeated generate/digest requests reuse the warm word models and alias
+	// tables instead of rebuilding them per request. Registries are safe to
+	// share because the server never mutates them after construction.
+	regMu sync.Mutex
+	regs  map[string]*content.Registry
+
+	plansBuilt      atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	cacheBypass     atomic.Int64
+	coalescedBuilds atomic.Int64
+	shardsServed    atomic.Int64
+	inlineGenerates atomic.Int64
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		regs:    map[string]*content.Registry{},
+	}
+	s.sem = make(chan struct{}, s.opts.Workers)
+	s.mux.HandleFunc("POST /v1/plans", s.handlePostPlans)
+	s.mux.HandleFunc("GET /v1/plans/{fp}/shards/{shard}", s.handleGetShard)
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		PlansBuilt:      s.plansBuilt.Load(),
+		PlanCacheHits:   s.cacheHits.Load(),
+		PlanCacheMisses: s.cacheMisses.Load(),
+		PlanCacheBypass: s.cacheBypass.Load(),
+		CoalescedBuilds: s.coalescedBuilds.Load(),
+		ShardsServed:    s.shardsServed.Load(),
+		InlineGenerates: s.inlineGenerates.Load(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+	}
+}
+
+// requestContext derives the heavy-request context: the client's own
+// context bounded by the server's request deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// acquire claims a worker slot, waiting on ctx: a request cancelled while
+// queued consumes nothing and frees its place in line immediately.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// registry returns the process-wide warm registry for a content kind.
+func (s *Server) registry(kind string) *content.Registry {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if r, ok := s.regs[kind]; ok {
+		return r
+	}
+	r := content.NewRegistry(content.Kind(kind))
+	s.regs[kind] = r
+	return r
+}
+
+// decodeJSON reads a bounded JSON request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request body: %v (%w)", err, fsimage.ErrInvalidSpec)
+	}
+	return nil
+}
+
+// writeError maps an error to its HTTP status: client mistakes
+// (fsimage.ErrInvalidSpec) are 400, version skew (fsimage.ErrPlanVersion)
+// is 409, missing plans are 404, deadlines are 504, and anything else —
+// including integrity violations (fsimage.ErrManifestIntegrity) — is 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, fsimage.ErrInvalidSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, fsimage.ErrPlanVersion):
+		status = http.StatusConflict
+	case errors.Is(err, ErrPlanNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for logs only.
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// handlePostPlans is the build-or-fetch plan endpoint. The spec is
+// fingerprinted (normalized content address), the store consulted, and on a
+// miss exactly one of the racing requests builds the plan — streaming it
+// into the store, never into memory whole — while the rest wait and then
+// serve the committed entry through the shared read path.
+func (s *Server) handlePostPlans(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	var req PlanRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Shards <= 0 {
+		req.Shards = 1
+	}
+	if req.Shards > s.opts.MaxShards {
+		writeError(w, fmt.Errorf("serve: %d shards exceeds the server's limit of %d (%w)", req.Shards, s.opts.MaxShards, fsimage.ErrInvalidSpec))
+		return
+	}
+	fp, err := distribute.SpecFingerprint(req.Spec, req.Shards, req.ChunkSize)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	if rc, size, err := s.opts.Store.Open(fp); err == nil {
+		s.cacheHits.Add(1)
+		s.streamPlan(w, fp, "hit", rc, size)
+		return
+	}
+	s.cacheMisses.Add(1)
+
+	var leader bool
+	for {
+		leader, err = s.flight.do(ctx, fp, func() error { return s.buildPlan(ctx, req, fp) })
+		if err == nil {
+			break
+		}
+		// A leader killed by its own disconnection poisons only its own
+		// waiters' round: any waiter still alive retries as the next leader.
+		if !leader && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
+			continue
+		}
+		writeError(w, err)
+		return
+	}
+	state := "miss"
+	if !leader {
+		s.coalescedBuilds.Add(1)
+		state = "coalesced"
+	}
+	if rc, size, err := s.opts.Store.Open(fp); err == nil {
+		s.streamPlan(w, fp, state, rc, size)
+		return
+	}
+
+	// The entry was evicted between commit and re-open (a byte budget much
+	// smaller than the plan). Serve the request anyway by streaming a fresh
+	// build straight into the response.
+	s.cacheBypass.Add(1)
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.release()
+	cfg, err := planConfig(req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderFingerprint, fp)
+	w.Header().Set(HeaderCache, "bypass")
+	if _, err := distribute.StreamPlanContext(ctx, cfg, req.Shards, req.ChunkSize, w); err != nil {
+		// Headers are out; all we can do is abort the stream mid-document so
+		// the client's decoder rejects it.
+		return
+	}
+}
+
+// planConfig lowers a spec to the planner's config (matching the
+// normalization SpecFingerprint applies).
+func planConfig(spec fsimage.Spec) (core.Config, error) {
+	cfg, err := core.ConfigFromSpec(spec)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.SimulateDisk = false
+	cfg.LayoutScore = 1.0
+	return cfg, nil
+}
+
+// buildPlan runs one cache-filling plan build under a worker slot: stream
+// the plan into a staged store entry and commit it atomically. ctx is the
+// leading request's context — if it dies mid-build the staged entry is
+// aborted, and a waiter retries as the next leader.
+func (s *Server) buildPlan(ctx context.Context, req PlanRequest, fp string) error {
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+	// Double-check under the flight lock: a build that finished between our
+	// store probe and becoming leader already paid for this entry.
+	if rc, _, err := s.opts.Store.Open(fp); err == nil {
+		rc.Close()
+		return nil
+	}
+	cfg, err := planConfig(req.Spec)
+	if err != nil {
+		return err
+	}
+	pw, err := s.opts.Store.Create(fp)
+	if err != nil {
+		return err
+	}
+	defer pw.Abort()
+	if _, err := distribute.StreamPlanContext(ctx, cfg, req.Shards, req.ChunkSize, pw); err != nil {
+		return err
+	}
+	if err := pw.Commit(); err != nil {
+		return err
+	}
+	s.plansBuilt.Add(1)
+	return nil
+}
+
+// streamPlan copies a stored plan document to the response.
+func (s *Server) streamPlan(w http.ResponseWriter, fp, cacheState string, rc io.ReadCloser, size int64) {
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set(HeaderFingerprint, fp)
+	w.Header().Set(HeaderCache, cacheState)
+	io.Copy(w, rc)
+}
+
+// handleGetShard slices one shard out of a stored plan and streams it as a
+// self-contained shard document. The extraction runs the shard-pruning
+// decode server-side, so the response — and the server's memory — is
+// bounded by the shard, not the plan.
+func (s *Server) handleGetShard(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	fp := r.PathValue("fp")
+	shard, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil {
+		writeError(w, fmt.Errorf("serve: shard index %q is not a number (%w)", r.PathValue("shard"), fsimage.ErrInvalidSpec))
+		return
+	}
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.release()
+	rc, _, err := s.opts.Store.Open(fp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer rc.Close()
+	view, err := distribute.DecodePlanShard(rc, shard)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderFingerprint, fp)
+	if err := view.Encode(w); err != nil {
+		return
+	}
+	s.shardsServed.Add(1)
+}
+
+// handleGenerate generates a small image inline and reports its canonical
+// digest: the one-call path for images that don't warrant the plan/worker
+// pipeline. The generation and digest passes poll the request context, so a
+// disconnected client frees its worker slot mid-run.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	var req GenerateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	cfg, err := core.ConfigFromSpec(req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	gen, err := core.NewGenerator(cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec := gen.Spec()
+	if spec.NumFiles > s.opts.MaxInlineFiles {
+		writeError(w, fmt.Errorf("serve: %d files exceeds the inline limit of %d — use POST /v1/plans and the distributed pipeline (%w)",
+			spec.NumFiles, s.opts.MaxInlineFiles, fsimage.ErrInvalidSpec))
+		return
+	}
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.release()
+	res, err := gen.GenerateContext(ctx)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	digest, err := res.Image.Digest(fsimage.MaterializeOptions{
+		Registry: s.registry(spec.ContentKind),
+		Seed:     spec.Seed,
+		Context:  ctx,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.inlineGenerates.Add(1)
+	writeJSON(w, GenerateResponse{Digest: digest, Report: res.Report})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent plan builds per fingerprint: the first
+// caller for a key becomes the leader and runs the build; everyone else
+// waits for it. Followers honor their own context — a follower abandoning
+// the wait does not cancel the leader, whose build is useful to every other
+// waiter (and to the cache).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	err  error
+}
+
+// do runs fn once per concurrent set of callers sharing key. It reports
+// whether this caller led the build and the build's error (the leader's fn
+// error, shared by all waiters). A follower whose ctx expires first returns
+// ctx.Err() without waiting further.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() error) (leader bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return false, c.err
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return true, c.err
+}
