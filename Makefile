@@ -7,7 +7,7 @@ MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|File
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check mem-check serve-check
+.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check mem-check serve-check fleet-fault-check
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,43 @@ serve-check:
 	grep -q 'impressionsd: stopped' daemon.log; \
 	cp SERVE_$(BENCH_DATE).json $(CURDIR)/; \
 	echo "serve-check: OK (wrote SERVE_$(BENCH_DATE).json)"
+
+# Local mirror of the CI fleet fault-injection job: boot impressionsd as a
+# shard scheduler with fast fault detection, join 3 workers — one rigged to
+# SIGKILL itself mid-shard — and drive a whole run through POST /v1/runs.
+# The run must report at least one re-queue (the kill was noticed and the
+# shard re-leased, resuming from the victim's journal) and the fleet digest
+# must be byte-identical to a local single-process run. Also writes the
+# fleet metrics (shards/sec, requeues, lease-expiry p95) as FLEET_<date>.json.
+fleet-fault-check:
+	@rm -rf /tmp/impressions-fleet-check && mkdir -p /tmp/impressions-fleet-check/out /tmp/impressions-fleet-check/work
+	$(GO) build -o /tmp/impressions-fleet-check/impressionsd ./cmd/impressionsd
+	$(GO) build -o /tmp/impressions-fleet-check/impressions ./cmd/impressions
+	$(GO) build -o /tmp/impressions-fleet-check/benchrunner ./cmd/benchrunner
+	@set -e; cd /tmp/impressions-fleet-check; \
+	./impressionsd -addr 127.0.0.1:0 -workers 4 \
+		-heartbeat-interval 150ms -heartbeat-misses 3 -lease-ttl 60s -inline-grace -1s \
+		> daemon.log 2>&1 & dpid=$$!; \
+	trap 'kill -TERM $$dpid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/^impressionsd: listening on //p' daemon.log); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "daemon never came up:"; cat daemon.log; exit 1; }; \
+	./impressions worker -join "http://$$addr" -out out -work work -fail-after-files 40 > victim.log 2>&1 & victim=$$!; \
+	wpids=""; for w in 1 2; do \
+		./impressions worker -join "http://$$addr" -out out -work work > worker-$$w.log 2>&1 & wpids="$$wpids $$!"; \
+	done; \
+	./benchrunner fleet -base "http://$$addr" -shards 8 -files 3000 -seed 20090225 \
+		-check -require-requeue 1 -bench-json FLEET_$(BENCH_DATE).json; \
+	wait $$victim && { echo "victim worker was supposed to be killed mid-shard:"; cat victim.log; exit 1; } || true; \
+	for p in $$wpids; do kill -TERM $$p 2>/dev/null || true; done; \
+	for p in $$wpids; do wait $$p || true; done; \
+	kill -TERM $$dpid; wait $$dpid; \
+	grep -q 'impressionsd: stopped' daemon.log; \
+	grep -q 'marking dead' daemon.log; \
+	cp FLEET_$(BENCH_DATE).json $(CURDIR)/; \
+	echo "fleet-fault-check: OK (killed worker re-queued; digest matches single-process run)"
 
 # Local mirror of the CI memory-bound job: a 1M-file streamed plan build
 # must hold peak live heap under its hard cap (see

@@ -1,0 +1,156 @@
+package main
+
+// The `benchrunner fleet` subcommand: drive a whole distributed run
+// through a daemon's shard scheduler and report the fleet's vital signs —
+// shards/sec, re-queue count, and the scheduler's lease-expiry latency
+// percentiles — in the same bench-json schema the other scenarios emit.
+// With -check it also generates the image locally and requires the fleet
+// digest to be byte-identical; with -require-requeue it additionally
+// demands that the retry path (not a clean first attempt) was exercised,
+// which is the contract the CI fleet-fault-check job enforces.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"impressions/internal/content"
+	"impressions/internal/core"
+	"impressions/internal/fleet"
+	"impressions/internal/fsimage"
+	"impressions/internal/serve"
+)
+
+func runFleet(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchrunner fleet", flag.ContinueOnError)
+	var (
+		base       = fs.String("base", "http://127.0.0.1:7077", "base URL of the running impressionsd")
+		shards     = fs.Int("shards", 8, "shards per run")
+		seed       = fs.Int64("seed", 424242, "seed of the requested spec")
+		files      = fs.Int("files", 3000, "files in the requested image")
+		check      = fs.Bool("check", false, "generate the image locally and require the fleet digest to match byte-for-byte")
+		reqRequeue = fs.Int("require-requeue", 0, "fail unless the run saw at least this many shard re-queues (proves the retry path ran)")
+		benchJSON  = fs.String("bench-json", "", "write metrics to this file in bench-json schema")
+		timeout    = fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	c := &serve.Client{Base: *base}
+	readyCtx, readyCancel := context.WithTimeout(ctx, 30*time.Second)
+	defer readyCancel()
+	if err := c.WaitReady(readyCtx); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fleet: %s is ready\n", *base)
+
+	spec := fsimage.Spec{
+		Seed:        *seed,
+		NumFiles:    *files,
+		NumDirs:     *files / 5,
+		FSSizeBytes: int64(*files) * 2048,
+	}
+
+	before, err := c.FleetStats(ctx)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	st, err := c.PostRun(ctx, serve.PlanRequest{Spec: spec, Shards: *shards})
+	if err != nil {
+		return fmt.Errorf("fleet: PostRun: %w", err)
+	}
+	fmt.Fprintf(stdout, "fleet: run %s created (%d shards, fingerprint %s)\n", st.ID, st.TotalShards, st.Fingerprint[:12])
+	st, err = c.WaitRun(ctx, st.ID, 0)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	after, err := c.FleetStats(ctx)
+	if err != nil {
+		return err
+	}
+
+	if st.State != fleet.RunComplete {
+		for _, o := range st.Outstanding {
+			fmt.Fprintf(stdout, "fleet: shard %d outstanding after %d attempt(s): %s\n", o.Shard, o.Attempts, o.Command)
+		}
+		return fmt.Errorf("fleet: run %s %s: %s", st.ID, st.State, st.Error)
+	}
+
+	shardsPerSec := float64(st.TotalShards) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "fleet: run complete in %.2fs — %.2f shards/sec, %d requeue(s), %d lease(s) expired (p95 reclaim %.1fms)\n",
+		elapsed.Seconds(), shardsPerSec, st.Requeues, after.LeasesExpired-before.LeasesExpired, after.LeaseExpiryP95Millis)
+	fmt.Fprintf(stdout, "fleet: digest %s\n", st.Digest)
+
+	if *reqRequeue > 0 && st.Requeues < *reqRequeue {
+		return fmt.Errorf("fleet: FAILED — run saw %d requeue(s), want >= %d (the retry path was not exercised)", st.Requeues, *reqRequeue)
+	}
+	if *check {
+		cfg, err := core.ConfigFromSpec(spec)
+		if err != nil {
+			return err
+		}
+		res, err := core.GenerateImageContext(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("fleet: local generate: %w", err)
+		}
+		localDigest, err := res.Image.Digest(fsimage.MaterializeOptions{
+			Registry: content.NewRegistry(content.KindDefault),
+			Seed:     spec.Seed,
+			Context:  ctx,
+		})
+		if err != nil {
+			return fmt.Errorf("fleet: local digest: %w", err)
+		}
+		if st.Digest != localDigest {
+			return fmt.Errorf("fleet: FAILED — fleet run digests %s, local single-process run digests %s", st.Digest, localDigest)
+		}
+		fmt.Fprintf(stdout, "fleet: digest matches local single-process run (%s...)\n", localDigest[:12])
+	}
+
+	if *benchJSON == "" {
+		return nil
+	}
+	doc := benchDoc{
+		GeneratedAt: time.Now().UTC(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Pkg:         "impressions/internal/fleet",
+		CPU:         fmt.Sprintf("%d logical CPUs", runtime.NumCPU()),
+		Benchmarks: []benchEntry{{
+			Name:       "FleetRun",
+			Iterations: int64(st.TotalShards),
+			NsPerOp:    float64(elapsed.Nanoseconds()) / float64(st.TotalShards),
+			Metrics: map[string]float64{
+				"shards_per_sec":       shardsPerSec,
+				"requeues":             float64(st.Requeues),
+				"leases_expired":       float64(after.LeasesExpired - before.LeasesExpired),
+				"lease_expiry_p50_ms":  after.LeaseExpiryP50Millis,
+				"lease_expiry_p95_ms":  after.LeaseExpiryP95Millis,
+				"run_elapsed_ms":       float64(elapsed.Milliseconds()),
+				"workers_live_at_exit": float64(after.WorkersLive),
+			},
+		}},
+	}
+	f, err := os.Create(*benchJSON)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("writing %s: %w", *benchJSON, err)
+	}
+	fmt.Fprintf(stdout, "fleet: wrote %s\n", *benchJSON)
+	return nil
+}

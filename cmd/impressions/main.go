@@ -11,6 +11,11 @@
 // stitches the shard manifests back into one verified image, and `distrun`
 // orchestrates plan → N local worker processes → merge in one call.
 //
+// Fleet mode hands the orchestration to a running impressionsd: `worker
+// -join <url>` turns this process into a lease-pulling fleet worker with
+// mid-shard resume, and `fleetrun` submits a whole run and polls it to the
+// canonical digest.
+//
 // Examples:
 //
 //	impressions -size 4.55GB -out /tmp/image
@@ -21,6 +26,8 @@
 //	impressions worker -plan plan.json -shard 3 -out /mnt/img -manifest shard3.json
 //	impressions merge -plan plan.json -print-digest shard*.json
 //	impressions distrun -files 20000 -seed 42 -shards 4 -out /tmp/image
+//	impressions worker -join http://127.0.0.1:7077 -out /mnt/img -work /var/tmp/journals
+//	impressions fleetrun -base http://127.0.0.1:7077 -files 20000 -seed 42 -shards 8
 package main
 
 import (
@@ -32,8 +39,10 @@ import (
 	"fmt"
 	"io"
 	iofs "io/fs"
+	"net/http"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -41,13 +50,16 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"impressions/internal/content"
 	"impressions/internal/core"
 	"impressions/internal/distribute"
+	"impressions/internal/fleet"
 	"impressions/internal/fsimage"
 	"impressions/internal/namespace"
+	"impressions/internal/serve"
 	"impressions/internal/stats"
 )
 
@@ -112,8 +124,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return runMerge(rest, stdout, stderr)
 		case "distrun":
 			return runDistrun(rest, stdout, stderr)
+		case "fleetrun":
+			return runFleetrun(rest, stdout, stderr)
 		default:
-			return usagef("unknown subcommand %q (want generate, plan, worker, merge, or distrun)", sub)
+			return usagef("unknown subcommand %q (want generate, plan, worker, merge, distrun, or fleetrun)", sub)
 		}
 	}
 	return runGenerate(args, stdout, stderr)
@@ -412,20 +426,49 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("impressions worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		planFlag     = fs.String("plan", "", "plan file produced by `impressions plan` (required)")
-		shardFlag    = fs.Int("shard", -1, "shard index to execute (required)")
-		outFlag      = fs.String("out", "", "directory to materialize the shard into (required)")
-		manifestFlag = fs.String("manifest", "", "file to write the shard manifest to (required)")
+		planFlag     = fs.String("plan", "", "plan file produced by `impressions plan`")
+		fromFlag     = fs.String("from", "", "URL of a shard document to fetch and execute (the daemon's /v1/plans/{fp}/shards/{i})")
+		joinFlag     = fs.String("join", "", "base URL of an impressionsd to join as a fleet worker (e.g. http://127.0.0.1:7077)")
+		shardFlag    = fs.Int("shard", -1, "shard index to execute (required with -plan)")
+		outFlag      = fs.String("out", "", "directory to materialize shards into (required)")
+		manifestFlag = fs.String("manifest", "", "file to write the shard manifest to (required with -plan/-from)")
 		metadataOnly = fs.Bool("metadata-only", false, "create files with correct sizes but no content")
 		jobs         = fs.Int("j", 0, "concurrent file writers within this worker (0 = all CPUs, 1 = serial); output is byte-identical at any level")
+		workDir      = fs.String("work", "", "fleet mode: directory for shard journals (default: -out); keep it stable across restarts to resume mid-shard")
+		batchFiles   = fs.Int("batch-files", 0, "fleet mode: files per sealed journal batch (0 = default)")
+		idleExit     = fs.Duration("idle-exit", 0, "fleet mode: exit cleanly after this long without work (0 = run until signalled)")
+		failAfter    = fs.Int("fail-after-files", 0, "fault injection: SIGKILL this process after writing N files of a leased shard")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	if *planFlag == "" || *shardFlag < 0 || *outFlag == "" || *manifestFlag == "" {
-		return usagef("worker: -plan, -shard, -out and -manifest are all required")
+	if *joinFlag != "" {
+		if *planFlag != "" || *fromFlag != "" {
+			return usagef("worker: -join is exclusive with -plan/-from")
+		}
+		if *outFlag == "" {
+			return usagef("worker: -join requires -out")
+		}
+		return runFleetWorker(*joinFlag, *outFlag, *workDir, *batchFiles, *idleExit, *failAfter, stdout)
 	}
-	view, err := distribute.LoadPlanShard(*planFlag, *shardFlag)
+	if (*planFlag == "") == (*fromFlag == "") {
+		return usagef("worker: exactly one of -plan or -from is required (or -join for fleet mode)")
+	}
+	if *outFlag == "" || *manifestFlag == "" {
+		return usagef("worker: -out and -manifest are required")
+	}
+	var (
+		view *distribute.ShardView
+		err  error
+	)
+	if *fromFlag != "" {
+		view, err = fetchShardView(*fromFlag)
+	} else {
+		if *shardFlag < 0 {
+			return usagef("worker: -plan requires -shard")
+		}
+		view, err = distribute.LoadPlanShard(*planFlag, *shardFlag)
+	}
 	if err != nil {
 		return err
 	}
@@ -438,6 +481,119 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "worker: shard %d wrote %d dirs, %d files, %d bytes under %s (manifest %s)\n",
 		m.Shard, m.Dirs, m.Files, m.Bytes, *outFlag, *manifestFlag)
+	return nil
+}
+
+// fetchShardView pulls a self-contained shard document from a daemon URL —
+// the re-run path a fleet run's status names for outstanding shards.
+func fetchShardView(url string) (*distribute.ShardView, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("worker: fetching shard from %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return distribute.DecodeShardView(resp.Body)
+}
+
+// runFleetWorker joins a daemon's fleet and works shard leases until
+// signalled (or idle-exit). An injected -fail-after-files crash escalates
+// to a SIGKILL of this very process — no deferred cleanup, no flushes —
+// so fault drills exercise the exact failure mode of a machine dying.
+func runFleetWorker(base, outRoot, workDir string, batchFiles int, idleExit time.Duration, failAfter int, stdout io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := &serve.Client{Base: base}
+	readyCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.WaitReady(readyCtx); err != nil {
+		return err
+	}
+	st, err := c.RunFleetWorker(ctx, serve.FleetWorkerOptions{
+		OutRoot:        outRoot,
+		WorkDir:        workDir,
+		BatchFiles:     batchFiles,
+		IdleExit:       idleExit,
+		FailAfterFiles: failAfter,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stdout, format+"\n", a...)
+		},
+	})
+	if errors.Is(err, distribute.ErrSimulatedCrash) {
+		fmt.Fprintf(stdout, "worker %s: injected crash — SIGKILL\n", st.WorkerID)
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "worker %s: done (%d shards committed, %d resumed mid-shard, %d files written, %d resumed)\n",
+		st.WorkerID, st.ShardsCommitted, st.ShardsResumed, st.FilesWritten, st.FilesResumed)
+	return nil
+}
+
+// runFleetrun drives a whole distributed run through a daemon's scheduler:
+// one POST /v1/runs, then poll until the canonical digest (or failure,
+// with every outstanding shard's re-run command).
+func runFleetrun(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impressions fleetrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		base    = fs.String("base", "http://127.0.0.1:7077", "base URL of the running impressionsd")
+		shards  = fs.Int("shards", 0, "number of shards (0 = one per daemon CPU decision, i.e. server default)")
+		timeout = fs.Duration("timeout", 10*time.Minute, "overall deadline for the run")
+		size    = fs.String("size", "", "desired file-system size (e.g. 500MB, 4.55GB)")
+		files   = fs.Int("files", 0, "number of files (derived from -size if omitted)")
+		dirs    = fs.Int("dirs", 0, "number of directories (derived from -files if omitted)")
+		seed    = fs.Int64("seed", 0, "random seed (0 = default seed)")
+		kind    = fs.String("content", "default", "content policy: default, text-1word, text-model, image, binary, zero")
+		tree    = fs.String("tree", "generative", "tree shape: generative, flat, deep")
+		special = fs.Bool("special-dirs", false, "bias placement towards special directories")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	spec := fsimage.Spec{
+		Seed:                  *seed,
+		NumFiles:              *files,
+		NumDirs:               *dirs,
+		ContentKind:           *kind,
+		TreeShape:             *tree,
+		UseSpecialDirectories: *special,
+	}
+	if *size != "" {
+		bytes, err := parseSize(*size)
+		if err != nil {
+			return usageError{err}
+		}
+		spec.FSSizeBytes = bytes
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := &serve.Client{Base: *base}
+	if err := c.WaitReady(ctx); err != nil {
+		return err
+	}
+	st, err := c.PostRun(ctx, serve.PlanRequest{Spec: spec, Shards: *shards})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fleetrun: run %s created (%d shards, fingerprint %s)\n", st.ID, st.TotalShards, st.Fingerprint)
+	st, err = c.WaitRun(ctx, st.ID, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fleetrun: run %s %s: %d/%d shards committed, %d requeue(s), %dms\n",
+		st.ID, st.State, st.Committed, st.TotalShards, st.Requeues, st.ElapsedMillis)
+	if st.State != fleet.RunComplete {
+		for _, o := range st.Outstanding {
+			fmt.Fprintf(stdout, "fleetrun: shard %d outstanding after %d attempt(s); re-run by hand:\n  %s\n", o.Shard, o.Attempts, o.Command)
+		}
+		return fmt.Errorf("fleetrun: run %s %s: %s", st.ID, st.State, st.Error)
+	}
+	fmt.Fprintf(stdout, "image digest: sha256:%s\n", st.Digest)
 	return nil
 }
 

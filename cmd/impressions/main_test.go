@@ -137,6 +137,13 @@ func TestMainExitCodes(t *testing.T) {
 		{"worker missing args", []string{"worker"}, 2},
 		{"worker bad flag", []string{"worker", "-no-such-flag"}, 2},
 		{"worker missing plan file", []string{"worker", "-plan", "/nonexistent/plan.json", "-shard", "0", "-out", t.TempDir(), "-manifest", filepath.Join(t.TempDir(), "m.json")}, 1},
+		{"worker join+plan conflict", []string{"worker", "-join", "http://127.0.0.1:1", "-plan", "p.json", "-out", t.TempDir()}, 2},
+		{"worker join+from conflict", []string{"worker", "-join", "http://127.0.0.1:1", "-from", "http://x/v1/plans/f/shards/0", "-out", t.TempDir()}, 2},
+		{"worker join missing out", []string{"worker", "-join", "http://127.0.0.1:1"}, 2},
+		{"worker plan+from conflict", []string{"worker", "-plan", "p.json", "-from", "http://x/v1/plans/f/shards/0", "-out", t.TempDir(), "-manifest", "m.json"}, 2},
+		{"worker plan missing shard", []string{"worker", "-plan", "/nonexistent/plan.json", "-out", t.TempDir(), "-manifest", "m.json"}, 2},
+		{"fleetrun bad flag", []string{"fleetrun", "-no-such-flag"}, 2},
+		{"fleetrun bad size", []string{"fleetrun", "-size", "notasize"}, 2},
 		{"merge missing manifests", []string{"merge", "-plan", "/nonexistent/plan.json"}, 2},
 		{"merge bad flag", []string{"merge", "-no-such-flag"}, 2},
 		{"distrun missing out", []string{"distrun", "-files", "10"}, 2},

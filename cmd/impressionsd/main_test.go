@@ -31,18 +31,20 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-// TestDaemonBootServeDrain boots the daemon on an ephemeral port, serves a
-// request through it, sends SIGTERM, and requires a clean drained exit.
-func TestDaemonBootServeDrain(t *testing.T) {
-	var stdout syncBuffer
-	var stderr bytes.Buffer
+// bootDaemon starts Main in-process with the given extra flags and returns
+// the daemon's base URL, its exit channel, and its output buffers. The
+// listening line is the readiness contract; the bound address is parsed
+// from it.
+func bootDaemon(t *testing.T, extraArgs ...string) (string, chan int, *syncBuffer, *bytes.Buffer) {
+	t.Helper()
+	stdout := &syncBuffer{}
+	stderr := &bytes.Buffer{}
 	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"}, extraArgs...)
 	go func() {
-		exit <- Main([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"}, &stdout, &stderr)
+		exit <- Main(args, stdout, stderr)
 	}()
 
-	// The listening line is the readiness contract; parse the bound address
-	// from it.
 	var addr string
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
@@ -59,7 +61,13 @@ func TestDaemonBootServeDrain(t *testing.T) {
 	if addr == "" {
 		t.Fatalf("daemon never printed its listening line; stderr: %s", stderr.String())
 	}
-	base := "http://" + addr
+	return "http://" + addr, exit, stdout, stderr
+}
+
+// TestDaemonBootServeDrain boots the daemon on an ephemeral port, serves a
+// request through it, sends SIGTERM, and requires a clean drained exit.
+func TestDaemonBootServeDrain(t *testing.T) {
+	base, exit, stdout, stderr := bootDaemon(t)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -110,5 +118,60 @@ func TestDaemonBootServeDrain(t *testing.T) {
 	}
 	if out := stdout.String(); !strings.Contains(out, "stopped") {
 		t.Fatalf("daemon never reported a clean stop; stdout: %s", out)
+	}
+}
+
+// TestDaemonDrainWindow: with -drain-grace set, SIGTERM first flips /readyz
+// to 503 while the daemon keeps serving (the window a load balancer needs
+// to stop routing), and only then does the daemon exit.
+func TestDaemonDrainWindow(t *testing.T) {
+	base, exit, _, stderr := bootDaemon(t, "-drain-grace", "500ms")
+
+	get := func(path string) (int, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	if code, err := get("/readyz"); err != nil || code != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d, %v", code, err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+
+	// Inside the grace window the daemon must still answer — not-ready on
+	// /readyz, alive on /healthz.
+	sawDraining := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, err := get("/readyz")
+		if err != nil {
+			break // listener closed: window over
+		}
+		if code == http.StatusServiceUnavailable {
+			sawDraining = true
+			if live, err := get("/healthz"); err != nil || live != http.StatusOK {
+				t.Fatalf("/healthz during drain: %d, %v (liveness must hold while draining)", live, err)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Fatal("/readyz never returned 503 during the drain window")
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after the drain window")
 	}
 }

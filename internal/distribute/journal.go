@@ -1,0 +1,425 @@
+package distribute
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"impressions/internal/content"
+	"impressions/internal/fsimage"
+	"impressions/internal/stats"
+)
+
+// This file implements incremental shard manifests: a worker executing a
+// shard flushes sealed batches of per-file content digests to an
+// append-only journal as the content pass runs, so a preempted worker
+// resumes from the last sealed batch instead of regenerating the whole
+// shard. The journal is the mid-shard analogue of the sealed manifest —
+// every batch is fingerprint-bound and chained to its predecessor, so a
+// stale, torn, or foreign journal is detected and discarded, never trusted.
+
+// JournalVersion is the shard-journal wire version.
+const JournalVersion = 1
+
+// journalChainSeed anchors the batch seal chain.
+const journalChainSeed = "impressions-journal-v1"
+
+// JournalBatch is one sealed entry of a shard journal: the content digests
+// (and byte count) of a contiguous run of the shard's files, in shard file
+// order. Start indexes into the shard's file list (ShardView.Files), not
+// image file IDs, so contiguity is trivial to verify.
+type JournalBatch struct {
+	FormatVersion   int    `json:"format_version"`
+	PlanFingerprint string `json:"plan_fingerprint"`
+	Shard           int    `json:"shard"`
+	// Start is the index (in the shard's file list) of the batch's first
+	// file; a valid journal's batches are contiguous from 0.
+	Start int `json:"start"`
+	// Digests holds the SHA-256 (hex) of each file's written content.
+	Digests []string `json:"digests"`
+	// Bytes is the total bytes this batch wrote.
+	Bytes int64 `json:"bytes"`
+	// Seal chains this batch to its predecessor (journalChainSeed for the
+	// first): H(prev seal, fingerprint, shard, start, digests, bytes).
+	Seal string `json:"seal"`
+}
+
+// sealBatch computes a batch's chain seal over the previous one's.
+func sealBatch(prev string, b *JournalBatch) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nv%d plan:%s shard:%d start:%d bytes:%d\n", prev, b.FormatVersion, b.PlanFingerprint, b.Shard, b.Start, b.Bytes)
+	for _, d := range b.Digests {
+		fmt.Fprintf(h, "%s\n", d)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ShardJournal appends sealed digest batches for one shard execution to a
+// file, fsyncing each batch so a SIGKILL loses at most the unsealed tail.
+type ShardJournal struct {
+	f        *os.File
+	fp       string
+	shard    int
+	lastSeal string
+	next     int // index of the next file a batch may start at
+}
+
+// journalRecovery is what loading a journal yields: the files already
+// proven done and the chain state appends continue from.
+type journalRecovery struct {
+	digests  []string // per shard-file-index, contiguous from 0
+	bytes    int64
+	lastSeal string
+}
+
+// loadJournal reads and verifies a journal file against the plan
+// fingerprint and shard. It stops at the first torn or unparsable line
+// (a crash mid-append) and returns what verified; a batch that breaks the
+// chain, the fingerprint binding, or contiguity invalidates the whole
+// journal (returned error), because a wrong prefix cannot be trusted as
+// done work.
+func loadJournal(path, fingerprint string, shard int) (*journalRecovery, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &journalRecovery{lastSeal: journalChainSeed}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distribute: opening shard journal: %w", err)
+	}
+	defer f.Close()
+	rec := &journalRecovery{lastSeal: journalChainSeed}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var b JournalBatch
+		if err := json.Unmarshal(line, &b); err != nil {
+			// A torn tail line is the expected crash signature: everything
+			// sealed before it still counts.
+			break
+		}
+		if b.FormatVersion != JournalVersion {
+			return nil, fmt.Errorf("distribute: shard journal format v%d, this build speaks v%d (%w)", b.FormatVersion, JournalVersion, fsimage.ErrPlanVersion)
+		}
+		if b.PlanFingerprint != fingerprint || b.Shard != shard {
+			return nil, fmt.Errorf("distribute: shard journal is for plan %s shard %d, want plan %s shard %d (%w)",
+				b.PlanFingerprint, b.Shard, fingerprint, shard, fsimage.ErrManifestIntegrity)
+		}
+		if b.Start != len(rec.digests) {
+			return nil, fmt.Errorf("distribute: shard journal batch starts at file %d, expected %d (%w)", b.Start, len(rec.digests), fsimage.ErrManifestIntegrity)
+		}
+		seal := b.Seal
+		b.Seal = ""
+		if got := sealBatch(rec.lastSeal, &b); got != seal {
+			return nil, fmt.Errorf("distribute: shard journal batch at file %d failed its seal check — tampered or corrupt (%w)", b.Start, fsimage.ErrManifestIntegrity)
+		}
+		rec.digests = append(rec.digests, b.Digests...)
+		rec.bytes += b.Bytes
+		rec.lastSeal = seal
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return nil, fmt.Errorf("distribute: reading shard journal: %w", err)
+	}
+	return rec, nil
+}
+
+// openJournal opens (creating or truncating-to-resume) the journal for
+// appending after next files are already sealed.
+func openJournal(path, fingerprint string, shard int, lastSeal string, next int) (*ShardJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("distribute: opening shard journal: %w", err)
+	}
+	return &ShardJournal{f: f, fp: fingerprint, shard: shard, lastSeal: lastSeal, next: next}, nil
+}
+
+// Append seals and flushes one batch. digests cover the shard's files
+// [j.next, j.next+len(digests)).
+func (j *ShardJournal) Append(digests []string, bytes int64) error {
+	b := JournalBatch{
+		FormatVersion:   JournalVersion,
+		PlanFingerprint: j.fp,
+		Shard:           j.shard,
+		Start:           j.next,
+		Digests:         digests,
+		Bytes:           bytes,
+	}
+	b.Seal = sealBatch(j.lastSeal, &b)
+	line, err := json.Marshal(&b)
+	if err != nil {
+		return fmt.Errorf("distribute: encoding journal batch: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("distribute: appending journal batch: %w", err)
+	}
+	// The fsync is the seal's whole point: a batch either survives a
+	// SIGKILL intact or its torn tail is skipped on recovery.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("distribute: syncing shard journal: %w", err)
+	}
+	j.lastSeal = b.Seal
+	j.next += len(digests)
+	return nil
+}
+
+// Close closes the journal file.
+func (j *ShardJournal) Close() error { return j.f.Close() }
+
+// DefaultJournalBatch is the files-per-batch flush granularity of
+// incremental shard execution.
+const DefaultJournalBatch = 256
+
+// IncrementalOptions configures ExecuteShardIncremental.
+type IncrementalOptions struct {
+	// JournalPath is the journal file (required). Reusing the path across
+	// attempts of the same (plan, shard) is what makes resume work.
+	JournalPath string
+	// BatchFiles is the flush granularity (0 selects DefaultJournalBatch).
+	BatchFiles int
+	// MetadataOnly mirrors WorkerOptions.MetadataOnly.
+	MetadataOnly bool
+	// DirPerm / FilePerm mirror WorkerOptions.
+	DirPerm  os.FileMode
+	FilePerm os.FileMode
+	// Context cancels execution between files (the journal keeps everything
+	// sealed so far).
+	Context context.Context
+	// FailAfterFiles > 0 aborts execution with ErrSimulatedCrash once that
+	// many files have been written by THIS attempt (resumed files do not
+	// count) — the deterministic mid-shard fault the fleet drills inject.
+	FailAfterFiles int
+	// OnFile, when non-nil, observes each file written by this attempt
+	// (after its digest is computed, possibly before its batch seals).
+	OnFile func(written int)
+}
+
+// ErrSimulatedCrash reports an execution aborted by FailAfterFiles. The
+// fleet worker CLI converts it into a SIGKILL of its own process, so the
+// daemon observes a real worker death.
+var ErrSimulatedCrash = errors.New("distribute: simulated worker crash (fail-after-files)")
+
+// IncrementalResult reports one incremental shard execution.
+type IncrementalResult struct {
+	Manifest *Manifest
+	// ResumedFiles is how many files were proven done by the journal and
+	// skipped; WrittenFiles is how many this attempt wrote.
+	ResumedFiles int
+	WrittenFiles int
+}
+
+// ExecuteShardIncremental materializes one shard like ExecuteShardView, but
+// flushes sealed digest batches to a journal during the content pass and
+// resumes from the last sealed batch when the journal already covers a
+// prefix of the shard. Execution is serial (shard file order) — the price
+// of a well-defined resume point; parallel workers that do not need
+// mid-shard resume use ExecuteShardView. Resumed files are verified on disk
+// (present, regular, exact size) before being trusted; any mismatch, or any
+// journal integrity failure, discards the journal and restarts the shard.
+// The caller should delete the journal once the returned manifest is
+// committed downstream.
+func ExecuteShardIncremental(v *ShardView, outRoot string, opts IncrementalOptions) (*IncrementalResult, error) {
+	if opts.JournalPath == "" {
+		return nil, fmt.Errorf("distribute: incremental execution requires a journal path")
+	}
+	if opts.BatchFiles <= 0 {
+		opts.BatchFiles = DefaultJournalBatch
+	}
+	if err := validateShardStreamKey(v); err != nil {
+		return nil, err
+	}
+	fingerprint := v.Plan.Fingerprint()
+
+	rec, err := loadJournal(opts.JournalPath, fingerprint, v.Shard)
+	if err != nil || len(rec.digests) > len(v.Files) {
+		if err == nil {
+			err = fmt.Errorf("distribute: shard journal covers %d files, shard has %d (%w)", len(rec.digests), len(v.Files), fsimage.ErrManifestIntegrity)
+		}
+		// A journal that cannot be trusted is deleted, not argued with: the
+		// shard restarts from scratch.
+		os.Remove(opts.JournalPath)
+		rec = &journalRecovery{lastSeal: journalChainSeed}
+	}
+
+	mopts := fsimage.MaterializeOptions{
+		Registry:     content.NewRegistry(content.Kind(v.Plan.ContentKind)),
+		Seed:         v.Plan.Seed,
+		MetadataOnly: opts.MetadataOnly,
+		DirPerm:      opts.DirPerm,
+		FilePerm:     opts.FilePerm,
+		Parallelism:  1,
+		Context:      opts.Context,
+	}
+
+	// The directory pass is idempotent MkdirAll; run it every attempt so a
+	// resume against a cleaned output root recreates the skeleton.
+	if _, err := fsimage.MaterializeShardRecords(outRoot, v.Tree, v.Dirs, nil, mopts, nil); err != nil {
+		return nil, fmt.Errorf("distribute: shard %d: %w", v.Shard, err)
+	}
+
+	// Trust the journal only as far as the disk agrees with it: every
+	// resumed file must exist at its planned size. (A stat pass, not a
+	// re-hash — the seal chain plus fingerprint binding covers content.)
+	resumed := len(rec.digests)
+	for i := 0; i < resumed; i++ {
+		f := v.Files[i]
+		p := filepath.Join(outRoot, filepath.FromSlash(shardFilePath(v, f)))
+		info, serr := os.Stat(p)
+		if serr != nil || !info.Mode().IsRegular() || info.Size() != f.Size {
+			os.Remove(opts.JournalPath)
+			rec = &journalRecovery{lastSeal: journalChainSeed}
+			resumed = 0
+			break
+		}
+	}
+
+	j, err := openJournal(opts.JournalPath, fingerprint, v.Shard, rec.lastSeal, resumed)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+
+	digests := make([]string, len(v.Files))
+	copy(digests, rec.digests)
+	written := rec.bytes
+	wroteThisAttempt := 0
+	for lo := resumed; lo < len(v.Files); lo += opts.BatchFiles {
+		hi := min(lo+opts.BatchFiles, len(v.Files))
+		if opts.FailAfterFiles > 0 && wroteThisAttempt+(hi-lo) > opts.FailAfterFiles {
+			hi = lo + (opts.FailAfterFiles - wroteThisAttempt)
+		}
+		var batchDigests []string
+		if !opts.MetadataOnly {
+			batchDigests = digests[lo:hi]
+		}
+		n, err := fsimage.MaterializeShardRecords(outRoot, v.Tree, nil, v.Files[lo:hi], mopts, batchDigests)
+		if err != nil {
+			return nil, fmt.Errorf("distribute: shard %d: %w", v.Shard, err)
+		}
+		if err := j.Append(digests[lo:hi], n); err != nil {
+			return nil, err
+		}
+		written += n
+		wroteThisAttempt += hi - lo
+		if opts.OnFile != nil {
+			opts.OnFile(wroteThisAttempt)
+		}
+		if opts.FailAfterFiles > 0 && wroteThisAttempt >= opts.FailAfterFiles && hi < len(v.Files) {
+			return nil, ErrSimulatedCrash
+		}
+	}
+
+	m := &Manifest{
+		FormatVersion:   FormatVersion,
+		PlanFingerprint: fingerprint,
+		Shard:           v.Shard,
+		Dirs:            len(v.Dirs),
+		Files:           len(v.Files),
+		Bytes:           written,
+		ContentHashed:   !opts.MetadataOnly,
+		FileDigests:     make([]FileDigest, 0, len(v.Files)),
+	}
+	for i, f := range v.Files {
+		fd := FileDigest{ID: f.ID, Size: f.Size}
+		if !opts.MetadataOnly {
+			fd.SHA256 = digests[i]
+		}
+		m.FileDigests = append(m.FileDigests, fd)
+	}
+	m.Seal()
+	return &IncrementalResult{Manifest: m, ResumedFiles: resumed, WrittenFiles: wroteThisAttempt}, nil
+}
+
+// shardFilePath returns a file record's slash path relative to the shard's
+// output root.
+func shardFilePath(v *ShardView, f fsimage.File) string {
+	dir := v.Tree.Path(f.DirID)
+	if dir == "" {
+		return f.Name
+	}
+	return dir + "/" + f.Name
+}
+
+// validateShardStreamKey checks that this build derives the content stream
+// the plan's shard records — shared by every shard-execution entry point.
+func validateShardStreamKey(v *ShardView) error {
+	sp := v.Plan.Shards[v.Shard]
+	key, err := stats.ParseStreamKey(sp.StreamKey)
+	if err != nil {
+		return fmt.Errorf("distribute: shard %d stream key: %w", v.Shard, err)
+	}
+	want := stats.DeriveSeed(v.Plan.Seed, fsimage.MaterializeStreamLabel)
+	if got := key.Apply(v.Plan.Seed); got != want {
+		return fmt.Errorf("distribute: shard %d stream key %q derives seed %d; this build's content stream derives %d — plan is from an incompatible version",
+			v.Shard, sp.StreamKey, got, want)
+	}
+	return nil
+}
+
+// DigestShardView computes one shard's manifest without touching disk: each
+// file's content generator writes straight into a hash, using exactly the
+// per-file RNG streams the materializing path uses, so the manifest is
+// byte-for-byte the one ExecuteShardView would produce. It is the daemon's
+// inline-fallback executor — with zero live workers a run still converges
+// on the canonical digest, it just proves content instead of writing it.
+// ctx, when non-nil, cancels between files.
+func DigestShardView(ctx context.Context, v *ShardView, reg *content.Registry) (*Manifest, error) {
+	if err := validateShardStreamKey(v); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = content.NewRegistry(content.Kind(v.Plan.ContentKind))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	digests, written, err := hashShardFiles(ctx, v, reg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{
+		FormatVersion:   FormatVersion,
+		PlanFingerprint: v.Plan.Fingerprint(),
+		Shard:           v.Shard,
+		Dirs:            len(v.Dirs),
+		Files:           len(v.Files),
+		Bytes:           written,
+		ContentHashed:   true,
+		FileDigests:     make([]FileDigest, 0, len(v.Files)),
+	}
+	for i, f := range v.Files {
+		m.FileDigests = append(m.FileDigests, FileDigest{ID: f.ID, Size: f.Size, SHA256: digests[i]})
+	}
+	m.Seal()
+	return m, nil
+}
+
+// hashShardFiles generates every shard file's content into a SHA-256.
+func hashShardFiles(ctx context.Context, v *ShardView, reg *content.Registry) ([]string, int64, error) {
+	digests := make([]string, len(v.Files))
+	var written int64
+	baseRNG := stats.NewRNG(v.Plan.Seed).Fork(fsimage.MaterializeStreamLabel)
+	h := sha256.New()
+	for i, f := range v.Files {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		h.Reset()
+		rng := baseRNG.SplitN(uint64(f.ID))
+		if err := reg.ForExtension(f.Ext).Generate(h, f.Size, rng); err != nil {
+			return nil, 0, fmt.Errorf("distribute: shard %d hashing file %d: %w", v.Shard, f.ID, err)
+		}
+		digests[i] = hex.EncodeToString(h.Sum(nil))
+		written += f.Size
+	}
+	return digests, written, nil
+}

@@ -15,7 +15,6 @@ import (
 	"impressions/internal/content"
 	"impressions/internal/fsimage"
 	"impressions/internal/parallel"
-	"impressions/internal/stats"
 )
 
 // FileDigest records one written file in a shard manifest.
@@ -138,19 +137,11 @@ func ExecuteShard(p *OpenPlan, shard int, outRoot string, opts WorkerOptions) (*
 // workers may share outRoot (subtrees are disjoint) or use separate roots
 // that are later combined; the bytes written are identical either way.
 func ExecuteShardView(v *ShardView, outRoot string, opts WorkerOptions) (*Manifest, error) {
-	sp := v.Plan.Shards[v.Shard]
-
 	// The plan's stream key is authoritative: validate that this build
 	// derives the content stream the plan was built for, instead of silently
 	// writing bytes from a different stream.
-	key, err := stats.ParseStreamKey(sp.StreamKey)
-	if err != nil {
-		return nil, fmt.Errorf("distribute: shard %d stream key: %w", v.Shard, err)
-	}
-	want := stats.DeriveSeed(v.Plan.Seed, fsimage.MaterializeStreamLabel)
-	if got := key.Apply(v.Plan.Seed); got != want {
-		return nil, fmt.Errorf("distribute: shard %d stream key %q derives seed %d; this build's content stream derives %d — plan is from an incompatible version",
-			v.Shard, sp.StreamKey, got, want)
+	if err := validateShardStreamKey(v); err != nil {
+		return nil, err
 	}
 
 	// Digest slots are per shard record, so a pruned worker's buffers scale

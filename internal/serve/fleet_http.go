@@ -1,0 +1,223 @@
+package serve
+
+// The fleet endpoints: the HTTP face of internal/fleet's scheduler. The
+// scheduler owns every decision (lease grants, expiry, verification,
+// merge); this file only translates requests, bounds bodies, and maps
+// sentinel errors to statuses. Run creation reuses the plan cache and
+// single-flight build machinery — a fleet run over a spec the daemon has
+// already planned starts instantly from the store.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"impressions/internal/distribute"
+	"impressions/internal/fleet"
+	"impressions/internal/fsimage"
+)
+
+// maxManifestBody bounds an uploaded shard manifest (64 MiB — a manifest
+// line is ~100 bytes per file, so this covers shards far past the plan
+// service's inline limits).
+const maxManifestBody = 64 << 20
+
+// Fleet returns the server's shard scheduler. Drive its Loop (the daemon
+// does) or call Tick directly (tests do) to get expiry and fallback
+// behavior.
+func (s *Server) Fleet() *fleet.Scheduler { return s.fleet }
+
+// newFleet builds the scheduler with the daemon-side hooks filled in:
+// inline execution through the plan store and the server's worker pool,
+// and re-run commands that name this daemon's shard endpoint.
+func (s *Server) newFleet(opts fleet.Options) *fleet.Scheduler {
+	if opts.InlineExecute == nil {
+		opts.InlineExecute = s.inlineShard
+	}
+	if opts.WorkerCommand == nil {
+		base := s.opts.PublicURL
+		if base == "" {
+			base = "http://<impressionsd>"
+		}
+		opts.WorkerCommand = func(fp string, shard int) string {
+			return fmt.Sprintf("impressions worker -from %s/v1/plans/%s/shards/%d -out <out> -manifest manifest-%d.json",
+				base, fp, shard, shard)
+		}
+	}
+	return fleet.New(opts)
+}
+
+// inlineShard is the zero-worker fallback executor: slice the shard out of
+// the stored plan and hash its content daemon-side — no disk, no worker.
+// It runs under the same worker-pool semaphore as every heavy request.
+func (s *Server) inlineShard(ctx context.Context, fingerprint string, shard int) (*distribute.Manifest, error) {
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	rc, _, err := s.opts.Store.Open(fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	view, err := distribute.DecodePlanShard(rc, shard)
+	if err != nil {
+		return nil, err
+	}
+	return distribute.DigestShardView(ctx, view, s.registry(view.Plan.ContentKind))
+}
+
+// handlePostRun creates a distributed run: ensure the plan exists in the
+// store (building it exactly once under the single-flight group), retain
+// its open form for verification and merge, and hand it to the scheduler.
+// The response is the run's initial status; poll GET /v1/runs/{id} until
+// it carries the canonical digest.
+func (s *Server) handlePostRun(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	var req PlanRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Shards <= 0 {
+		req.Shards = 1
+	}
+	if req.Shards > s.opts.MaxShards {
+		writeError(w, fmt.Errorf("serve: %d shards exceeds the server's limit of %d (%w)", req.Shards, s.opts.MaxShards, fsimage.ErrInvalidSpec))
+		return
+	}
+	fp, err := distribute.SpecFingerprint(req.Spec, req.Shards, req.ChunkSize)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.ensurePlan(ctx, req, fp); err != nil {
+		writeError(w, err)
+		return
+	}
+	open, err := s.openStoredPlan(ctx, fp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id, err := s.fleet.CreateRun(fp, open)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.fleet.Status(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set(HeaderFingerprint, fp)
+	writeJSON(w, st)
+}
+
+// ensurePlan makes sure fingerprint fp is present in the store, running
+// the cache-filling build (single-flight) when it is not.
+func (s *Server) ensurePlan(ctx context.Context, req PlanRequest, fp string) error {
+	if rc, _, err := s.opts.Store.Open(fp); err == nil {
+		rc.Close()
+		s.cacheHits.Add(1)
+		return nil
+	}
+	s.cacheMisses.Add(1)
+	for {
+		leader, err := s.flight.do(ctx, fp, func() error { return s.buildPlan(ctx, req, fp) })
+		if err == nil {
+			if !leader {
+				s.coalescedBuilds.Add(1)
+			}
+			return nil
+		}
+		// A leader killed by its own disconnection poisons only its own
+		// waiters' round: any waiter still alive retries as the next leader.
+		if !leader && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
+			continue
+		}
+		return err
+	}
+}
+
+// openStoredPlan decodes a stored plan into its retained open form, under
+// a worker slot (the decode and tree build are O(image)).
+func (s *Server) openStoredPlan(ctx context.Context, fp string) (*distribute.OpenPlan, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	rc, _, err := s.opts.Store.Open(fp)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	p, err := distribute.DecodePlan(rc)
+	if err != nil {
+		return nil, err
+	}
+	return p.Open()
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	st, err := s.fleet.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleFleetStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.fleet.StatsSnapshot())
+}
+
+func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.fleet.Register())
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := s.fleet.Heartbeat(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleLease grants one shard attempt (200) or reports no work ready
+// (204). Claiming is a state transition: clients must not auto-retry it.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	l, err := s.fleet.Lease(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if l == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, l)
+}
+
+// handleComplete accepts a shard manifest against a lease. The scheduler
+// verifies the manifest server-side before trusting a byte of it: a stale
+// lease is 409, a bad manifest is 422 (and its shard is re-queued).
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var m distribute.Manifest
+	if err := decodeJSONLimit(r, &m, maxManifestBody); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.fleet.Complete(r.PathValue("id"), &m); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -16,6 +16,7 @@ import (
 	"impressions/internal/content"
 	"impressions/internal/core"
 	"impressions/internal/distribute"
+	"impressions/internal/fleet"
 	"impressions/internal/fsimage"
 )
 
@@ -37,6 +38,14 @@ type Options struct {
 	// MaxShards caps the shard count a plan request may ask for
 	// (default 256).
 	MaxShards int
+	// Fleet tunes the shard scheduler behind /v1/runs and the worker
+	// endpoints. The zero value selects the fleet package's defaults; the
+	// server fills in the inline-fallback executor and re-run command
+	// renderer unless the caller overrides them.
+	Fleet fleet.Options
+	// PublicURL is the base URL workers and re-run commands should use to
+	// reach this daemon (display/triage only; empty picks a placeholder).
+	PublicURL string
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +79,13 @@ type Server struct {
 	sem     chan struct{}
 	flight  flightGroup
 	started time.Time
+	fleet   *fleet.Scheduler
+
+	// ready is the /readyz verdict: true from construction (the handler can
+	// serve as soon as it is reachable), flipped false by SetReady when the
+	// daemon starts draining so load balancers stop routing to it. Liveness
+	// (/healthz) is unaffected by draining.
+	ready atomic.Bool
 
 	// regs caches one content registry per kind for the process lifetime, so
 	// repeated generate/digest requests reuse the warm word models and alias
@@ -96,16 +112,40 @@ func New(opts Options) *Server {
 		regs:    map[string]*content.Registry{},
 	}
 	s.sem = make(chan struct{}, s.opts.Workers)
+	s.fleet = s.newFleet(s.opts.Fleet)
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/plans", s.handlePostPlans)
 	s.mux.HandleFunc("GET /v1/plans/{fp}/shards/{shard}", s.handleGetShard)
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/runs", s.handlePostRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("GET /v1/fleet/stats", s.handleFleetStats)
+	s.mux.HandleFunc("POST /v1/fleet/workers", s.handleRegisterWorker)
+	s.mux.HandleFunc("POST /v1/fleet/workers/{id}/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /v1/fleet/workers/{id}/lease", s.handleLease)
+	s.mux.HandleFunc("POST /v1/fleet/leases/{id}/complete", s.handleComplete)
+	// /healthz is liveness — the process is up and serving. /readyz is
+	// readiness — it additionally goes 503 while the daemon drains.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
 	return s
 }
+
+// SetReady flips the /readyz verdict; the daemon calls SetReady(false)
+// when it begins its SIGTERM drain.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -159,7 +199,13 @@ func (s *Server) registry(kind string) *content.Registry {
 
 // decodeJSON reads a bounded JSON request body.
 func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	return decodeJSONLimit(r, v, 1<<20)
+}
+
+// decodeJSONLimit reads a JSON request body up to limit bytes (manifest
+// uploads carry per-file digest lines and need more room than specs).
+func decodeJSONLimit(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("serve: decoding request body: %v (%w)", err, fsimage.ErrInvalidSpec)
 	}
@@ -179,6 +225,14 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrPlanNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, fleet.ErrUnknownRun), errors.Is(err, fleet.ErrUnknownWorker):
+		status = http.StatusNotFound
+	case errors.Is(err, fleet.ErrLeaseInvalid):
+		status = http.StatusConflict
+	case errors.Is(err, fleet.ErrManifestRejected):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, fleet.ErrTooManyRuns):
+		status = http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
