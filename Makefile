@@ -3,7 +3,7 @@
 GO ?= go
 
 # Micro-benchmarks tracked in the BENCH_<date>.json perf trajectory.
-MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|FilePlacement|ConstraintResolution|ImageGeneration|Materialize|Content|FindWorkload|SearchIndexing|LayoutScore|StreamingPlanBuild|RetainedPlanBuild)
+MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|FilePlacement|ConstraintResolution|ImageGeneration|Materialize|Content|FindWorkload|SearchIndexing|LayoutScore|StreamingPlanBuild|RetainedPlanBuild|PartitionedPlanBuild)
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%Y%m%d)
 
@@ -139,10 +139,11 @@ fleet-fault-check:
 	echo "fleet-fault-check: OK (killed worker re-queued; digest matches single-process run)"
 
 # Local mirror of the CI memory-bound job: a 1M-file streamed plan build
-# must hold peak live heap under its hard cap (see
-# TestStreamedPlanBuildMemoryBound).
+# and a 10M-file partitioned (spilled) build must hold peak live heap under
+# the same hard cap (see TestStreamedPlanBuildMemoryBound and
+# TestPartitionedPlanBuildMemoryBound).
 mem-check:
-	$(GO) test ./internal/distribute -run TestStreamedPlanBuildMemoryBound -v -timeout 15m
+	$(GO) test ./internal/distribute -run 'TestStreamedPlanBuildMemoryBound|TestPartitionedPlanBuildMemoryBound' -v -timeout 15m
 
 lint:
 	$(GO) vet ./...

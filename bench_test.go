@@ -1,6 +1,7 @@
 package impressions_test
 
 import (
+	"context"
 	"io"
 	"path/filepath"
 	"runtime"
@@ -292,7 +293,7 @@ func benchPlanBuild(b *testing.B, streamed bool) {
 				b.Fatal(err)
 			}
 		} else {
-			plan, err := distribute.BuildPlan(cfg, 8, 0)
+			plan, err := distribute.BuildPlan(context.Background(), distribute.PlanRequest{Config: cfg, MaxShards: 8})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -305,6 +306,32 @@ func benchPlanBuild(b *testing.B, streamed bool) {
 
 // BenchmarkStreamingPlanBuild tracks the fused out-of-core planner.
 func BenchmarkStreamingPlanBuild(b *testing.B) { benchPlanBuild(b, true) }
+
+// discardWriteCloser swallows fragment writes without retaining them.
+type discardWriteCloser struct{}
+
+func (discardWriteCloser) Write(p []byte) (int, error) { return len(p), nil }
+func (discardWriteCloser) Close() error                { return nil }
+
+// BenchmarkPartitionedPlanBuild tracks the distributed planner's
+// single-node fallback: the same 100k-file build as the streaming
+// benchmark, emitted as 8 fragment documents off spilled metadata columns.
+// The delta against BenchmarkStreamingPlanBuild is the price of the spill
+// round trip plus the per-fragment chunk encoders.
+func BenchmarkPartitionedPlanBuild(b *testing.B) {
+	cfg := core.Config{NumFiles: 100000, NumDirs: 20000, FSSizeBytes: 100000 * 256, Seed: 1, Parallelism: 1}
+	spill := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := distribute.PlanRequest{Config: cfg, Partition: 8, Spill: spill}
+		if _, err := distribute.PartitionPlan(context.Background(), req, func(int) (io.WriteCloser, error) {
+			return discardWriteCloser{}, nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkRetainedPlanBuild is the in-memory reference the streamed path
 // is compared against.

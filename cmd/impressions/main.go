@@ -307,16 +307,21 @@ func runGenerate(args []string, stdout, stderr io.Writer) error {
 // the metadata pass straight into the chunk encoder, so the planner never
 // holds the image — at 10^7+ files that is the difference between O(chunk)
 // file records and gigabytes of retained metadata. The plan bytes are
-// identical either way.
+// identical either way. With -partition K the plan is emitted as K
+// independent fragment documents plus an index at the plan path; with
+// -spill even the metadata columns live on disk, so the build runs in
+// O(dirs) heap at any file count.
 func runPlan(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("impressions plan", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	gen := newGenFlags(fs)
 	var (
-		shardsFlag = fs.Int("shards", 4, "number of subtree shards to partition the namespace into")
-		planFlag   = fs.String("plan", "", "file to write the JSON plan to (required)")
-		streamFlag = fs.Bool("stream", false, "stream records from the metadata pass into the plan file without retaining the image (O(chunk) file records; identical plan bytes)")
-		memFlag    = fs.Bool("mem", false, "report peak heap usage of the plan build")
+		shardsFlag    = fs.Int("shards", 4, "number of subtree shards to partition the namespace into")
+		planFlag      = fs.String("plan", "", "file to write the JSON plan to (required)")
+		streamFlag    = fs.Bool("stream", false, "stream records from the metadata pass into the plan file without retaining the image (O(chunk) file records; identical plan bytes)")
+		partitionFlag = fs.Int("partition", 0, "emit the plan as this many self-contained fragment documents (<plan>.frag<i>) plus a fragment index at -plan; fragments are byte-identical to slicing the monolithic plan")
+		spillFlag     = fs.String("spill", "", "spill the metadata pass's per-file columns to temp files under this directory (O(dirs) live heap; identical plan bytes)")
+		memFlag       = fs.Bool("mem", false, "report peak heap usage of the plan build")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -327,23 +332,62 @@ func runPlan(args []string, stdout, stderr io.Writer) error {
 	if *gen.layout != 1.0 {
 		return usagef("plan: -layout is not supported in distributed runs (disk-layout simulation is a single-node feature)")
 	}
+	if *partitionFlag > 0 && *streamFlag {
+		return usagef("plan: -stream and -partition are exclusive (a partitioned plan is always streamed)")
+	}
+	if *spillFlag != "" && !*streamFlag && *partitionFlag <= 0 {
+		return usagef("plan: -spill needs a streaming build (-stream or -partition); the retained path would hold the image anyway")
+	}
+	shardsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 	cfg, err := gen.config()
 	if err != nil {
 		return err
+	}
+	req := distribute.PlanRequest{Config: cfg, MaxShards: *shardsFlag, Partition: *partitionFlag, Spill: *spillFlag}
+	if *partitionFlag > 0 && !shardsSet {
+		req.MaxShards = 0 // -partition alone fixes the shard count
 	}
 	var sampler *memSampler
 	if *memFlag {
 		sampler = startMemSampler()
 	}
 	var plan *distribute.Plan
-	if *streamFlag {
+	fragments := 0
+	switch {
+	case *partitionFlag > 0:
+		plan, err = distribute.PartitionPlan(context.Background(), req, func(shard int) (io.WriteCloser, error) {
+			return os.Create(fmt.Sprintf("%s.frag%d", *planFlag, shard))
+		})
+		if err == nil {
+			fragments = len(plan.Shards)
+			names := make([]string, fragments)
+			for s := range names {
+				names[s] = distribute.FragmentName(filepath.Base(*planFlag), s)
+			}
+			index := &distribute.FragmentIndex{
+				FormatVersion: distribute.FragmentIndexVersion,
+				Fingerprint:   plan.Fingerprint(),
+				Shards:        fragments,
+				Files:         plan.Files,
+				Dirs:          plan.Dirs,
+				Bytes:         plan.Bytes,
+				Fragments:     names,
+			}
+			err = writeJSONFile(*planFlag, index.Encode)
+		}
+	case *streamFlag:
 		err = writeJSONFile(*planFlag, func(w io.Writer) error {
 			var serr error
-			plan, serr = distribute.StreamPlan(cfg, *shardsFlag, 0, w)
+			plan, serr = req.Stream(context.Background(), w)
 			return serr
 		})
-	} else {
-		plan, err = distribute.BuildPlan(cfg, *shardsFlag, 0)
+	default:
+		plan, err = distribute.BuildPlan(context.Background(), req)
 		if err == nil {
 			err = writeJSONFile(*planFlag, plan.Encode)
 		}
@@ -357,10 +401,13 @@ func runPlan(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "  shard %d: %d dirs, %d files, %s (stream %s)\n",
 			s.Index, s.Dirs, s.Files, stats.FormatBytes(float64(s.Bytes)), s.StreamKey)
 	}
+	if fragments > 0 {
+		fmt.Fprintf(stdout, "plan: wrote %d fragments next to %s (index at %s)\n", fragments, *planFlag, *planFlag)
+	}
 	if sampler != nil {
 		peak, retained, total := sampler.stop()
-		fmt.Fprintf(stdout, "plan: peak heap %s (live %s retained after build), %s allocated in total\n",
-			stats.FormatBytes(float64(peak)), stats.FormatBytes(float64(retained)), stats.FormatBytes(float64(total)))
+		fmt.Fprintf(stdout, "plan: peak heap %s (live %s retained after build), %s allocated in total, %d fragments\n",
+			stats.FormatBytes(float64(peak)), stats.FormatBytes(float64(retained)), stats.FormatBytes(float64(total)), fragments)
 	}
 	return nil
 }
@@ -427,6 +474,7 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		planFlag     = fs.String("plan", "", "plan file produced by `impressions plan`")
+		fragFlag     = fs.String("fragment", "", "self-contained fragment document (written by `plan -partition`) to execute; the fragment names its own shard")
 		fromFlag     = fs.String("from", "", "URL of a shard document to fetch and execute (the daemon's /v1/plans/{fp}/shards/{i})")
 		joinFlag     = fs.String("join", "", "base URL of an impressionsd to join as a fleet worker (e.g. http://127.0.0.1:7077)")
 		shardFlag    = fs.Int("shard", -1, "shard index to execute (required with -plan)")
@@ -443,16 +491,22 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *joinFlag != "" {
-		if *planFlag != "" || *fromFlag != "" {
-			return usagef("worker: -join is exclusive with -plan/-from")
+		if *planFlag != "" || *fromFlag != "" || *fragFlag != "" {
+			return usagef("worker: -join is exclusive with -plan/-from/-fragment")
 		}
 		if *outFlag == "" {
 			return usagef("worker: -join requires -out")
 		}
 		return runFleetWorker(*joinFlag, *outFlag, *workDir, *batchFiles, *idleExit, *failAfter, stdout)
 	}
-	if (*planFlag == "") == (*fromFlag == "") {
-		return usagef("worker: exactly one of -plan or -from is required (or -join for fleet mode)")
+	sources := 0
+	for _, set := range []bool{*planFlag != "", *fromFlag != "", *fragFlag != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return usagef("worker: exactly one of -plan, -from, or -fragment is required (or -join for fleet mode)")
 	}
 	if *outFlag == "" || *manifestFlag == "" {
 		return usagef("worker: -out and -manifest are required")
@@ -461,9 +515,16 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 		view *distribute.ShardView
 		err  error
 	)
-	if *fromFlag != "" {
+	switch {
+	case *fromFlag != "":
 		view, err = fetchShardView(*fromFlag)
-	} else {
+	case *fragFlag != "":
+		var f *os.File
+		if f, err = os.Open(*fragFlag); err == nil {
+			view, err = distribute.DecodeShardView(f)
+			f.Close()
+		}
+	default:
 		if *shardFlag < 0 {
 			return usagef("worker: -plan requires -shard")
 		}
@@ -606,7 +667,8 @@ func runMerge(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("impressions merge", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		planFlag    = fs.String("plan", "", "plan file produced by `impressions plan` (required)")
+		planFlag    = fs.String("plan", "", "plan file produced by `impressions plan` (required unless -index)")
+		indexFlag   = fs.String("index", "", "fragment index produced by `plan -partition`: verify the fragment documents + manifests and reproduce the canonical digest without ever materializing the image")
 		imageFlag   = fs.String("image", "", "write the merged image metadata (JSON) to this file")
 		reportFlag  = fs.String("report", "", "write the merged JSON reproducibility report to this file")
 		printDigest = fs.Bool("print-digest", false, "print only the canonical image digest line")
@@ -615,6 +677,12 @@ func runMerge(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *indexFlag != "" {
+		if *planFlag != "" || *partialFlag || *imageFlag != "" || *reportFlag != "" {
+			return usagef("merge: -index is exclusive with -plan/-partial/-image/-report (a fragment merge never holds the image)")
+		}
+		return runFragmentMerge(*indexFlag, fs.Args(), *printDigest, stdout)
 	}
 	if *planFlag == "" {
 		return usagef("merge: -plan <file> is required")
@@ -678,6 +746,61 @@ func runMerge(args []string, stdout, stderr io.Writer) error {
 		if err := writeReportFile(*reportFlag, &res.Report); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runFragmentMerge is the partitioned pipeline's final stage: it streams
+// the fragment documents named by the index against the workers' manifests
+// and reproduces the canonical image digest in O(dirs + shards·chunk)
+// memory — the merge node never holds the image either.
+func runFragmentMerge(indexPath string, manifestPaths []string, printDigest bool, stdout io.Writer) error {
+	ix, err := distribute.LoadFragmentIndex(indexPath)
+	if err != nil {
+		return err
+	}
+	if len(manifestPaths) == 0 {
+		return usagef("merge: -index requires the shard manifest files as arguments")
+	}
+	manifests := make([]*distribute.Manifest, ix.Shards)
+	for _, path := range manifestPaths {
+		m, err := distribute.LoadManifest(path)
+		if err != nil {
+			return err
+		}
+		if m.Shard < 0 || m.Shard >= ix.Shards {
+			return fmt.Errorf("merge: manifest %s names shard %d, index has %d shards", path, m.Shard, ix.Shards)
+		}
+		if manifests[m.Shard] != nil {
+			return fmt.Errorf("merge: duplicate manifest for shard %d (%s)", m.Shard, path)
+		}
+		manifests[m.Shard] = m
+	}
+	for s, m := range manifests {
+		if m == nil {
+			return fmt.Errorf("merge: no manifest for shard %d — run its worker (impressions worker -fragment %s ...) and merge again",
+				s, filepath.Join(filepath.Dir(indexPath), ix.Fragments[s]))
+		}
+	}
+	dir := filepath.Dir(indexPath)
+	res, err := distribute.MergeFragments(context.Background(), func(shard int) (io.ReadCloser, error) {
+		return os.Open(filepath.Join(dir, ix.Fragments[shard]))
+	}, manifests)
+	if err != nil {
+		return err
+	}
+	if res.Fingerprint != ix.Fingerprint {
+		return fmt.Errorf("merge: fragment fingerprint %s does not match index fingerprint %s", res.Fingerprint, ix.Fingerprint)
+	}
+	if !printDigest {
+		fmt.Fprintf(stdout, "merged %d dirs, %d files, %d bytes from %d fragments (fingerprint %s)\n",
+			res.Dirs, res.Files, res.Bytes, ix.Shards, res.Fingerprint[:12])
+	}
+	if printDigest && res.Digest == "" {
+		return fmt.Errorf("merge: the manifests are metadata-only and carry no content digest")
+	}
+	if res.Digest != "" {
+		fmt.Fprintf(stdout, "image digest: sha256:%s\n", res.Digest)
 	}
 	return nil
 }
@@ -1030,7 +1153,7 @@ func runDistrun(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	plan, err := distribute.BuildPlan(cfg, *shardsFlag, 0)
+	plan, err := distribute.BuildPlan(context.Background(), distribute.PlanRequest{Config: cfg, MaxShards: *shardsFlag})
 	if err != nil {
 		return err
 	}

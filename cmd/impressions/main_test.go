@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -114,6 +115,65 @@ func TestPlanStreamWritesIdenticalPlan(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "peak heap") {
 		t.Errorf("-mem did not report peak heap:\n%s", out.String())
+	}
+}
+
+// TestPlanPartitionWorkerMergePipeline drives the partitioned pipeline
+// through the CLI end to end: plan -partition writes fragments plus an
+// index, worker -fragment executes each fragment, merge -index verifies the
+// set and reproduces the digest a monolithic plan/worker/merge run prints.
+func TestPlanPartitionWorkerMergePipeline(t *testing.T) {
+	dir := t.TempDir()
+	cfgArgs := []string{"-files", "400", "-dirs", "80", "-seed", "9"}
+
+	// Reference digest from the monolithic pipeline.
+	monoPlan := filepath.Join(dir, "mono.json")
+	if err := run(append([]string{"plan"}, append(cfgArgs, "-shards", "2", "-plan", monoPlan)...), io.Discard, io.Discard); err != nil {
+		t.Fatalf("monolithic plan: %v", err)
+	}
+	monoRoot := filepath.Join(dir, "mono-out")
+	monoManifests := []string{}
+	for s := 0; s < 2; s++ {
+		mf := filepath.Join(dir, fmt.Sprintf("mono-manifest-%d.json", s))
+		if err := run([]string{"worker", "-plan", monoPlan, "-shard", strconv.Itoa(s), "-out", monoRoot, "-manifest", mf}, io.Discard, io.Discard); err != nil {
+			t.Fatalf("monolithic worker %d: %v", s, err)
+		}
+		monoManifests = append(monoManifests, mf)
+	}
+	var monoOut bytes.Buffer
+	if err := run(append([]string{"merge", "-plan", monoPlan, "-print-digest"}, monoManifests...), &monoOut, io.Discard); err != nil {
+		t.Fatalf("monolithic merge: %v", err)
+	}
+	refDigest := strings.TrimSpace(monoOut.String())
+
+	// Partitioned pipeline: fragments next to the index, -mem reporting.
+	planPath := filepath.Join(dir, "plan.json")
+	var planOut bytes.Buffer
+	if err := run(append([]string{"plan"}, append(cfgArgs, "-partition", "2", "-spill", dir, "-mem", "-plan", planPath)...), &planOut, io.Discard); err != nil {
+		t.Fatalf("plan -partition: %v", err)
+	}
+	if !strings.Contains(planOut.String(), "2 fragments") {
+		t.Errorf("plan -partition -mem did not report the fragment count:\n%s", planOut.String())
+	}
+	outRoot := filepath.Join(dir, "out")
+	manifests := []string{}
+	for s := 0; s < 2; s++ {
+		frag := fmt.Sprintf("%s.frag%d", planPath, s)
+		if _, err := os.Stat(frag); err != nil {
+			t.Fatalf("fragment %d not written: %v", s, err)
+		}
+		mf := filepath.Join(dir, fmt.Sprintf("manifest-%d.json", s))
+		if err := run([]string{"worker", "-fragment", frag, "-out", outRoot, "-manifest", mf}, io.Discard, io.Discard); err != nil {
+			t.Fatalf("worker -fragment %d: %v", s, err)
+		}
+		manifests = append(manifests, mf)
+	}
+	var mergeOut bytes.Buffer
+	if err := run(append([]string{"merge", "-index", planPath, "-print-digest"}, manifests...), &mergeOut, io.Discard); err != nil {
+		t.Fatalf("merge -index: %v", err)
+	}
+	if got := strings.TrimSpace(mergeOut.String()); got != refDigest {
+		t.Errorf("fragment pipeline digest %q != monolithic %q", got, refDigest)
 	}
 }
 
@@ -818,7 +878,7 @@ func TestDistrunResumeVerifiesOutRoot(t *testing.T) {
 // contract includes empty dirs, which the content digest alone would miss.
 func TestVerifyShardOnDiskChecksDirectories(t *testing.T) {
 	cfg := core.Config{NumFiles: 10, NumDirs: 60, FSSizeBytes: 10 * 1024, Seed: 5, Parallelism: 1}
-	plan, err := distribute.BuildPlan(cfg, 2, 0)
+	plan, err := distribute.BuildPlan(context.Background(), distribute.PlanRequest{Config: cfg, MaxShards: 2})
 	if err != nil {
 		t.Fatalf("BuildPlan: %v", err)
 	}

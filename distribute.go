@@ -40,30 +40,74 @@ type MergeResult = distribute.MergeResult
 // for resuming a partially failed distributed run.
 type Audit = distribute.Audit
 
-// BuildPlan resolves the metadata pass for cfg and partitions it into
-// maxShards balanced subtree shards, retaining the image for in-process
-// execution. chunkSize sets metadata records per serialized chunk (0 picks
-// the default).
-func BuildPlan(cfg Config, maxShards, chunkSize int) (*Plan, error) {
-	return distribute.BuildPlan(cfg, maxShards, chunkSize)
+// PlanRequest is the single entry point for building plans: configuration,
+// sharding, chunking, partitioned output, and spill-to-disk in one request
+// struct instead of a family of positional-argument functions.
+type PlanRequest = distribute.PlanRequest
+
+// FragmentIndex describes a partitioned plan: the parent fingerprint plus
+// the names of its fragment documents.
+type FragmentIndex = distribute.FragmentIndex
+
+// FragmentMergeResult is the outcome of a fragment-stream merge: the
+// canonical digest and verified totals, with no retained image.
+type FragmentMergeResult = distribute.FragmentMergeResult
+
+// BuildPlan resolves the metadata pass for the request and partitions it
+// into balanced subtree shards, retaining the image for in-process
+// execution. Pipelines that only need the plan file use PlanRequest.Stream;
+// fleets that want the plan built shard by shard use PartitionPlan.
+func BuildPlan(ctx context.Context, req PlanRequest) (*Plan, error) {
+	return distribute.BuildPlan(ctx, req)
 }
 
-// BuildPlanContext is BuildPlan with cancellation.
+// BuildPlanContext builds a retained plan from positional arguments.
+//
+// Deprecated: use BuildPlan with a PlanRequest.
 func BuildPlanContext(ctx context.Context, cfg Config, maxShards, chunkSize int) (*Plan, error) {
 	return distribute.BuildPlanContext(ctx, cfg, maxShards, chunkSize)
 }
 
 // StreamPlan builds a plan and writes its complete wire document to w in
-// one streaming pass, holding O(chunk) file records — the out-of-core
-// planner. The bytes are identical to BuildPlan + Encode for the same
-// inputs.
+// one streaming pass, holding O(chunk) file records.
+//
+// Deprecated: use PlanRequest.Stream.
 func StreamPlan(cfg Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
 	return distribute.StreamPlan(cfg, maxShards, chunkSize, w)
 }
 
-// StreamPlanContext is StreamPlan with cancellation.
+// StreamPlanContext writes a plan document from positional arguments.
+//
+// Deprecated: use PlanRequest.Stream.
 func StreamPlanContext(ctx context.Context, cfg Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
 	return distribute.StreamPlanContext(ctx, cfg, maxShards, chunkSize, w)
+}
+
+// PartitionPlan builds a partitioned plan: K self-contained fragment
+// documents (byte-identical to slicing the monolithic plan file), written
+// to the writers open returns. Combined with PlanRequest.Spill, the whole
+// build runs in O(dirs) live heap regardless of file count.
+func PartitionPlan(ctx context.Context, req PlanRequest, open func(shard int) (io.WriteCloser, error)) (*Plan, error) {
+	return distribute.PartitionPlan(ctx, req, open)
+}
+
+// BuildPlanFragment emits a single shard's fragment document: the leasable
+// unit of distributed planning.
+func BuildPlanFragment(ctx context.Context, req PlanRequest, shard int, w io.Writer) (*Plan, error) {
+	return distribute.BuildPlanFragment(ctx, req, shard, w)
+}
+
+// MergeFragments verifies a complete set of fragment documents and worker
+// manifests and reproduces the canonical image digest while holding
+// O(dirs + shards·chunk) memory — no node in the partitioned pipeline ever
+// materializes the image.
+func MergeFragments(ctx context.Context, open func(shard int) (io.ReadCloser, error), manifests []*Manifest) (*FragmentMergeResult, error) {
+	return distribute.MergeFragments(ctx, open, manifests)
+}
+
+// LoadFragmentIndex reads a fragment index file written by `plan -partition`.
+func LoadFragmentIndex(path string) (*FragmentIndex, error) {
+	return distribute.LoadFragmentIndex(path)
 }
 
 // LoadPlan reads and opens a plan file for in-process execution.

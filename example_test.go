@@ -57,7 +57,7 @@ func ExampleSpecFingerprint() {
 func ExampleBuildPlan() {
 	cfg := impressions.Config{NumFiles: 300, NumDirs: 60, FSSizeBytes: 300 * 1024, Seed: 7}
 
-	plan, err := impressions.BuildPlan(cfg, 3, 0)
+	plan, err := impressions.BuildPlan(context.Background(), impressions.PlanRequest{Config: cfg, MaxShards: 3})
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -107,10 +107,10 @@ func ExampleBuildPlan() {
 	// deterministic: true
 }
 
-// ExampleStreamPlan writes a plan document without ever retaining the
-// image, then decodes one shard's pruned view back out of it — the
+// ExamplePlanRequest_Stream writes a plan document without ever retaining
+// the image, then decodes one shard's pruned view back out of it — the
 // out-of-core producer/consumer pair.
-func ExampleStreamPlan() {
+func ExamplePlanRequest_Stream() {
 	cfg := impressions.Config{NumFiles: 300, NumDirs: 60, FSSizeBytes: 300 * 1024, Seed: 7}
 
 	dir, _ := os.MkdirTemp("", "impressions-example")
@@ -122,7 +122,8 @@ func ExampleStreamPlan() {
 		fmt.Println(err)
 		return
 	}
-	plan, err := impressions.StreamPlan(cfg, 2, 0, f)
+	req := impressions.PlanRequest{Config: cfg, MaxShards: 2}
+	plan, err := req.Stream(context.Background(), f)
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -101,6 +101,15 @@ type Config struct {
 	// level: all randomness is drawn from RNG streams derived from stable
 	// shard keys, never from worker scheduling.
 	Parallelism int
+
+	// SpillDir, when non-empty, makes the metadata pass spill its per-file
+	// primitive columns to temp files under this directory instead of
+	// holding them on the heap, bounding the pass's live memory by O(dirs)
+	// regardless of file count. The replayed records are byte-identical to
+	// the in-memory pass. Spill mode serves streaming consumers only
+	// (GenerateStream and the planner); retained-image generation rejects
+	// it. Not part of the reproducibility spec: it never affects output.
+	SpillDir string
 }
 
 // DefaultFilesPerDir is the files-to-directories ratio used when the

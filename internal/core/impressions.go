@@ -66,6 +66,9 @@ func (g *Generator) GenerateContext(ctx context.Context) (*Result, error) {
 	cfg := g.cfg
 	res := &Result{}
 
+	if cfg.SpillDir != "" {
+		return nil, fmt.Errorf("core: SpillDir requires a streaming consumer (GenerateStream); the retained image would defeat the spill")
+	}
 	m, err := g.ResolveMetadataContext(ctx)
 	if err != nil {
 		return nil, err

@@ -27,17 +27,36 @@ type Metadata struct {
 	exts    []string  // raw extension draws ("null" means none)
 	parents []int32   // parent directory ID per file
 
+	// spill, when non-nil, replaces the three columns above with their
+	// file-backed variant (Config.SpillDir); sizes/exts/parents stay nil.
+	spill *spillColumns
+
 	spec        fsimage.Spec
 	convergence constraint.Result
 	phases      map[string]float64
 	totalBytes  int64
 }
 
+// Close releases the file-backed columns of a spilled metadata pass. It is a
+// no-op for in-memory metadata. Streaming consumers that resolve metadata
+// themselves must close it when done.
+func (m *Metadata) Close() error {
+	if m.spill != nil {
+		return m.spill.Close()
+	}
+	return nil
+}
+
 // Tree returns the directory tree (shared, not copied).
 func (m *Metadata) Tree() *namespace.Tree { return m.tree }
 
 // FileCount returns the number of files.
-func (m *Metadata) FileCount() int { return len(m.sizes) }
+func (m *Metadata) FileCount() int {
+	if m.spill != nil {
+		return m.spill.n
+	}
+	return len(m.sizes)
+}
 
 // DirCount returns the number of directories (including the root).
 func (m *Metadata) DirCount() int { return m.tree.Len() }
@@ -63,11 +82,16 @@ func (m *Metadata) FileAt(i int) fsimage.File {
 
 // EachPlacement walks every file's placement (ID, parent directory, size)
 // without materializing records — the compact input for per-shard
-// accumulators.
-func (m *Metadata) EachPlacement(fn func(fileID, dirID int, size int64)) {
+// accumulators. In spill mode the walk is a sequential column read and can
+// fail with an I/O error; in-memory it always returns nil.
+func (m *Metadata) EachPlacement(fn func(fileID, dirID int, size int64)) error {
+	if m.spill != nil {
+		return m.spill.eachPlacement(fn)
+	}
 	for i := range m.sizes {
 		fn(i, int(m.parents[i]), int64(m.sizes[i]))
 	}
+	return nil
 }
 
 // StreamRecords replays the metadata as the canonical record stream,
@@ -80,6 +104,9 @@ func (m *Metadata) StreamRecords(sink fsimage.RecordSink) error {
 			return err
 		}
 	}
+	if m.spill != nil {
+		return m.spill.eachFile(context.Background(), m.tree, 0, sink.AddFile)
+	}
 	for i := range m.sizes {
 		if err := sink.AddFile(m.FileAt(i)); err != nil {
 			return err
@@ -90,8 +117,12 @@ func (m *Metadata) StreamRecords(sink fsimage.RecordSink) error {
 
 // Image materializes the metadata as a retained in-memory image sharing the
 // tree. This is the retained-sink path Generate takes; large-scale pipelines
-// stream instead.
+// stream instead. Spilled metadata exists precisely to avoid O(files) heap,
+// so retaining it is a programming error (Generate rejects SpillDir).
 func (m *Metadata) Image() *fsimage.Image {
+	if m.spill != nil {
+		panic("core: Image() called on spilled metadata; stream it instead")
+	}
 	img := fsimage.New(m.tree)
 	img.Files = make([]fsimage.File, m.FileCount())
 	for i := range img.Files {
@@ -116,6 +147,9 @@ func (g *Generator) ResolveMetadata() (*Metadata, error) {
 // disconnected client's metadata pass mid-phase. On cancellation the
 // partial columns are discarded and ctx.Err() is returned.
 func (g *Generator) ResolveMetadataContext(ctx context.Context) (*Metadata, error) {
+	if g.cfg.SpillDir != "" {
+		return g.resolveMetadataSpill(ctx)
+	}
 	cfg := g.cfg
 	rng := stats.NewRNG(cfg.Seed)
 	phases := map[string]float64{}
@@ -229,6 +263,7 @@ func (g *Generator) GenerateStreamContext(ctx context.Context, sink fsimage.Reco
 	if err != nil {
 		return fsimage.Report{}, err
 	}
+	defer m.Close()
 	if err := m.streamRecordsContext(ctx, sink); err != nil {
 		return fsimage.Report{}, err
 	}
@@ -250,6 +285,9 @@ func (m *Metadata) streamRecordsContext(ctx context.Context, sink fsimage.Record
 		if err := sink.AddDir(fsimage.DirRecord{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias}); err != nil {
 			return err
 		}
+	}
+	if m.spill != nil {
+		return m.spill.eachFile(ctx, m.tree, cancelCheckStride, sink.AddFile)
 	}
 	for i := range m.sizes {
 		if i%cancelCheckStride == 0 {

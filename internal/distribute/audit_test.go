@@ -2,6 +2,7 @@ package distribute
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -142,7 +143,7 @@ func largePlanConfig() core.Config {
 // the chunked format, the embedded image was built as one buffer and this
 // test's bound fails by an order of magnitude.
 func TestPlanStreamingMemoryBound(t *testing.T) {
-	plan, err := BuildPlan(largePlanConfig(), 4, 2048)
+	plan, err := BuildPlan(context.Background(), PlanRequest{Config: largePlanConfig(), MaxShards: 4, ChunkSize: 2048})
 	if err != nil {
 		t.Fatalf("BuildPlan: %v", err)
 	}
@@ -164,7 +165,7 @@ func TestPlanStreamingMemoryBound(t *testing.T) {
 // BenchmarkPlanRoundTrip tracks the cost (time and allocations) of
 // streaming a large plan through encode + decode.
 func BenchmarkPlanRoundTrip(b *testing.B) {
-	plan, err := BuildPlan(largePlanConfig(), 4, 0)
+	plan, err := BuildPlan(context.Background(), PlanRequest{Config: largePlanConfig(), MaxShards: 4})
 	if err != nil {
 		b.Fatalf("BuildPlan: %v", err)
 	}

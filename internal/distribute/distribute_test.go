@@ -2,6 +2,7 @@ package distribute
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +49,7 @@ func singleProcessReference(t *testing.T, cfg core.Config) (*fsimage.Image, stri
 // forces the metadata stream through many chunks even on test-sized images.
 func planRoundTrip(t *testing.T, cfg core.Config, shards int) *OpenPlan {
 	t.Helper()
-	plan, err := BuildPlan(cfg, shards, 64)
+	plan, err := BuildPlan(context.Background(), PlanRequest{Config: cfg, MaxShards: shards, ChunkSize: 64})
 	if err != nil {
 		t.Fatalf("BuildPlan(%d): %v", shards, err)
 	}
@@ -240,7 +241,7 @@ func TestMergeRejectsTamperedManifests(t *testing.T) {
 // bytes, a truncated chunk stream, edited totals, and a wrong format
 // version.
 func TestOpenRejectsCorruptPlan(t *testing.T) {
-	plan, err := BuildPlan(testConfig(), 2, 64)
+	plan, err := BuildPlan(context.Background(), PlanRequest{Config: testConfig(), MaxShards: 2, ChunkSize: 64})
 	if err != nil {
 		t.Fatalf("BuildPlan: %v", err)
 	}
@@ -345,7 +346,7 @@ func TestMetadataOnlyDistributedRun(t *testing.T) {
 // TestPlanFingerprintSensitivity asserts the fingerprint changes when any
 // output-determining field changes.
 func TestPlanFingerprintSensitivity(t *testing.T) {
-	plan, err := BuildPlan(testConfig(), 2, 0)
+	plan, err := BuildPlan(context.Background(), PlanRequest{Config: testConfig(), MaxShards: 2})
 	if err != nil {
 		t.Fatalf("BuildPlan: %v", err)
 	}

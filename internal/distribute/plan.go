@@ -163,13 +163,15 @@ func resolvePlanMetadata(ctx context.Context, cfg core.Config, maxShards int) (*
 // The partition is computed from the compact tree, and the per-shard
 // file/byte expectations from a streaming accumulator over the placement
 // columns — no file records are materialized here.
-func planScaffold(m *core.Metadata, maxShards, chunkSize int) (*Plan, *namespace.Partition) {
+func planScaffold(m *core.Metadata, maxShards, chunkSize int) (*Plan, *namespace.Partition, error) {
 	if chunkSize <= 0 {
 		chunkSize = fsimage.DefaultChunkSize
 	}
 	part := namespace.PartitionBalanced(m.Tree(), maxShards, fsimage.ShardWeight)
 	acc := namespace.NewShardAccumulator(part)
-	m.EachPlacement(func(_, dirID int, size int64) { acc.Add(dirID, size) })
+	if err := m.EachPlacement(func(_, dirID int, size int64) { acc.Add(dirID, size) }); err != nil {
+		return nil, nil, fmt.Errorf("distribute: accumulating shard expectations: %w", err)
+	}
 	key := contentStreamKey().String()
 	shards := make([]ShardPlan, part.Len())
 	for s := range shards {
@@ -194,74 +196,28 @@ func planScaffold(m *core.Metadata, maxShards, chunkSize int) (*Plan, *namespace
 		Spec:          spec,
 		ChunkSize:     chunkSize,
 		Shards:        shards,
-	}, part
+	}, part, nil
 }
 
-// BuildPlan runs the metadata pass for cfg and partitions the result into
-// exactly maxShards balanced subtree shards (oversized subtrees are cut at
-// deeper levels, so one worker per shard holds even when the generative
-// model concentrates the namespace under a few top-level directories).
-// chunkSize sets the metadata records per serialized chunk; 0 selects
-// fsimage.DefaultChunkSize. The returned plan retains the image, so it can
-// be Opened and executed in-process without a decode round trip; pipelines
-// that only need the plan file use StreamPlan and never hold the image.
-func BuildPlan(cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
-	return BuildPlanContext(context.Background(), cfg, maxShards, chunkSize)
-}
-
-// BuildPlanContext is BuildPlan with cancellation: the metadata pass honors
-// ctx (see core.ResolveMetadataContext).
+// BuildPlanContext builds a retained plan from positional arguments.
+//
+// Deprecated: use BuildPlan with a PlanRequest.
 func BuildPlanContext(ctx context.Context, cfg core.Config, maxShards, chunkSize int) (*Plan, error) {
-	m, err := resolvePlanMetadata(ctx, cfg, maxShards)
-	if err != nil {
-		return nil, err
-	}
-	p, _ := planScaffold(m, maxShards, chunkSize)
-	p.img = m.Image()
-
-	// One streaming pass over the metadata seals the chunk boundaries and
-	// the whole-image chain hash without ever buffering the chunks' JSON.
-	enc := fsimage.NewChunkEncoder(p.ChunkSize, func(*fsimage.Chunk) error { return nil })
-	if err := p.img.StreamRecords(enc); err != nil {
-		return nil, fmt.Errorf("distribute: hashing metadata chunks: %w", err)
-	}
-	if err := enc.Close(); err != nil {
-		return nil, fmt.Errorf("distribute: hashing metadata chunks: %w", err)
-	}
-	p.Chunks = enc.Chunks()
-	p.ImageSHA256 = enc.ChainHash()
-	return p, nil
+	return BuildPlan(ctx, PlanRequest{Config: cfg, MaxShards: maxShards, ChunkSize: chunkSize})
 }
 
-// StreamPlan is the generator-fused planner: it resolves the metadata pass,
-// partitions the namespace, and writes the complete plan document to w in
-// one streaming pass — spec → metadata columns → chunk encoder — holding
-// O(chunk) live file records and never an image. The plan bytes are
-// byte-identical to BuildPlan(cfg, ...).Encode for the same inputs, so
-// manifests produced against either are interchangeable. The returned plan
-// is sealed (fingerprintable) but retains no image; Open it via a decode
-// (LoadPlan / LoadPlanShard) if execution state is needed.
+// StreamPlan writes a plan document from positional arguments.
+//
+// Deprecated: use PlanRequest.Stream.
 func StreamPlan(cfg core.Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
-	return StreamPlanContext(context.Background(), cfg, maxShards, chunkSize, w)
+	return PlanRequest{Config: cfg, MaxShards: maxShards, ChunkSize: chunkSize}.Stream(context.Background(), w)
 }
 
-// StreamPlanContext is StreamPlan with cancellation: the metadata pass
-// honors ctx, so a server can abandon a plan build whose requester is gone.
-// On cancellation the partially written document is abandoned mid-stream —
-// callers staging into a store must not commit it.
+// StreamPlanContext writes a plan document from positional arguments.
+//
+// Deprecated: use PlanRequest.Stream.
 func StreamPlanContext(ctx context.Context, cfg core.Config, maxShards, chunkSize int, w io.Writer) (*Plan, error) {
-	m, err := resolvePlanMetadata(ctx, cfg, maxShards)
-	if err != nil {
-		return nil, err
-	}
-	p, _ := planScaffold(m, maxShards, chunkSize)
-	chunks, chain, err := p.encodeDocument(w, m.StreamRecords)
-	if err != nil {
-		return nil, err
-	}
-	p.Chunks = chunks
-	p.ImageSHA256 = chain
-	return p, nil
+	return PlanRequest{Config: cfg, MaxShards: maxShards, ChunkSize: chunkSize}.Stream(ctx, w)
 }
 
 // Encode writes the retained plan as its JSON document: header, metadata

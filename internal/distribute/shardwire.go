@@ -47,26 +47,36 @@ type shardWireTrailer struct {
 	RecordsSHA256 string `json:"records_sha256"`
 }
 
-// Encode writes the view as a self-contained shard document: header, the
-// tree's directory records plus only this shard's file records streamed
-// through hash-guarded chunks, sealing trailer. Peak buffering is one chunk.
-func (v *ShardView) Encode(w io.Writer) error {
+// shardDocEncoder writes one shard document incrementally: construct it
+// (which emits the header), push records through AddDir/AddFile, Close to
+// seal the trailer. ShardView.Encode is this encoder fed from a retained
+// view; the partitioned planner (BuildPlanFragment) feeds it straight off
+// the metadata replay, so a fragment is produced with O(chunk) buffering
+// and no retained file slice — and is byte-identical to the view-encoded
+// form by construction.
+type shardDocEncoder struct {
+	bw  *bufio.Writer
+	enc *fsimage.ChunkEncoder
+}
+
+func newShardDocEncoder(p *Plan, shard int, w io.Writer) (*shardDocEncoder, error) {
 	bw := bufio.NewWriterSize(w, 64*1024)
 	hdr, err := json.Marshal(shardWireHeader{
 		FormatVersion: FormatVersion,
-		Shard:         v.Shard,
-		PlanChunks:    v.Plan.Chunks,
-		ImageSHA256:   v.Plan.ImageSHA256,
-		Plan:          v.Plan,
+		Shard:         shard,
+		PlanChunks:    p.Chunks,
+		ImageSHA256:   p.ImageSHA256,
+		Plan:          p,
 	})
 	if err != nil {
-		return fmt.Errorf("distribute: encoding shard view header: %w", err)
+		return nil, fmt.Errorf("distribute: encoding shard view header: %w", err)
 	}
 	if _, err := fmt.Fprintf(bw, "{\"view\":%s,\"records\":[", hdr); err != nil {
-		return fmt.Errorf("distribute: encoding shard view: %w", err)
+		return nil, fmt.Errorf("distribute: encoding shard view: %w", err)
 	}
+	e := &shardDocEncoder{bw: bw}
 	first := true
-	enc := fsimage.NewChunkEncoder(v.Plan.ChunkSize, func(c *fsimage.Chunk) error {
+	e.enc = fsimage.NewChunkEncoder(p.ChunkSize, func(c *fsimage.Chunk) error {
 		raw, err := json.Marshal(c)
 		if err != nil {
 			return fmt.Errorf("encoding record chunk %d: %w", c.Index, err)
@@ -80,31 +90,50 @@ func (v *ShardView) Encode(w io.Writer) error {
 		_, err = bw.Write(raw)
 		return err
 	})
+	return e, nil
+}
+
+func (e *shardDocEncoder) AddDir(d fsimage.DirRecord) error { return e.enc.AddDir(d) }
+func (e *shardDocEncoder) AddFile(f fsimage.File) error     { return e.enc.AddFile(f) }
+
+// Close seals the record chunks and writes the trailer.
+func (e *shardDocEncoder) Close() error {
+	if err := e.enc.Close(); err != nil {
+		return fmt.Errorf("distribute: %w", err)
+	}
+	trailer, err := json.Marshal(shardWireTrailer{Chunks: e.enc.Chunks(), RecordsSHA256: e.enc.ChainHash()})
+	if err != nil {
+		return fmt.Errorf("distribute: encoding shard view trailer: %w", err)
+	}
+	if _, err := fmt.Fprintf(e.bw, "],\"trailer\":%s}\n", trailer); err != nil {
+		return fmt.Errorf("distribute: encoding shard view: %w", err)
+	}
+	if err := e.bw.Flush(); err != nil {
+		return fmt.Errorf("distribute: encoding shard view: %w", err)
+	}
+	return nil
+}
+
+// Encode writes the view as a self-contained shard document: header, the
+// tree's directory records plus only this shard's file records streamed
+// through hash-guarded chunks, sealing trailer. Peak buffering is one chunk.
+func (v *ShardView) Encode(w io.Writer) error {
+	e, err := newShardDocEncoder(v.Plan, v.Shard, w)
+	if err != nil {
+		return err
+	}
 	for i := range v.Tree.Dirs {
 		d := &v.Tree.Dirs[i]
-		if err := enc.AddDir(fsimage.DirRecord{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias}); err != nil {
+		if err := e.AddDir(fsimage.DirRecord{ID: d.ID, Parent: d.Parent, Name: d.Name, Special: d.Special, Bias: d.Bias}); err != nil {
 			return fmt.Errorf("distribute: %w", err)
 		}
 	}
 	for _, f := range v.Files {
-		if err := enc.AddFile(f); err != nil {
+		if err := e.AddFile(f); err != nil {
 			return fmt.Errorf("distribute: %w", err)
 		}
 	}
-	if err := enc.Close(); err != nil {
-		return fmt.Errorf("distribute: %w", err)
-	}
-	trailer, err := json.Marshal(shardWireTrailer{Chunks: enc.Chunks(), RecordsSHA256: enc.ChainHash()})
-	if err != nil {
-		return fmt.Errorf("distribute: encoding shard view trailer: %w", err)
-	}
-	if _, err := fmt.Fprintf(bw, "],\"trailer\":%s}\n", trailer); err != nil {
-		return fmt.Errorf("distribute: encoding shard view: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("distribute: encoding shard view: %w", err)
-	}
-	return nil
+	return e.Close()
 }
 
 // viewAssembler is the RecordSink behind DecodeShardView. The directory half
@@ -120,21 +149,33 @@ type viewAssembler struct {
 	ts    *fsimage.TreeSink
 	part  *namespace.Partition
 	files []fsimage.File
-	bytes int64
+	// onFile, when non-nil, selects streaming assembly: each validated file
+	// record is handed to the callback instead of retained, so a consumer
+	// (the fragment merge) processes an arbitrarily large shard with O(dirs)
+	// assembler state. The finished view then carries no Files slice.
+	onFile func(fsimage.File) error
+	// onTree, when non-nil, fires once — as soon as the directory stream is
+	// complete and the partition verified (i.e. before the first file record
+	// is delivered) — handing the consumer the plan header and tree it needs
+	// to start folding a digest while files are still streaming.
+	onTree    func(hdr *Plan, tree *namespace.Tree) error
+	lastID    int
+	fileCount int
+	bytes     int64
 }
 
-func newViewAssembler(hdr *Plan, shard int) (*viewAssembler, error) {
+func newViewAssembler(hdr *Plan, shard int, onFile func(fsimage.File) error) (*viewAssembler, error) {
 	if hdr.DigestAlgo != fsimage.DigestVersion {
 		return nil, fmt.Errorf("distribute: plan digest algo %q, this build computes %q (%w)", hdr.DigestAlgo, fsimage.DigestVersion, fsimage.ErrPlanVersion)
 	}
 	if shard < 0 || shard >= len(hdr.Shards) {
 		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards) (%w)", shard, len(hdr.Shards), fsimage.ErrInvalidSpec)
 	}
-	a := &viewAssembler{hdr: hdr, shard: shard, ts: fsimage.NewTreeSink(nil)}
+	a := &viewAssembler{hdr: hdr, shard: shard, ts: fsimage.NewTreeSink(nil), onFile: onFile, lastID: -1}
 	// The header is untrusted until the stream verifies: clamp the
 	// preallocation so a tampered file count degrades into a failed
 	// expectation check, never a gigantic allocation.
-	if n := hdr.Shards[shard].Files; n > 0 {
+	if n := hdr.Shards[shard].Files; n > 0 && onFile == nil {
 		a.files = make([]fsimage.File, 0, min(n, 1<<20))
 	}
 	return a, nil
@@ -161,6 +202,11 @@ func (a *viewAssembler) ensurePartition() error {
 		return fmt.Errorf("distribute: rebuilding partition: %w", err)
 	}
 	a.part = part
+	if a.onTree != nil {
+		onTree := a.onTree
+		a.onTree = nil
+		return onTree(a.hdr, a.ts.Tree())
+	}
 	return nil
 }
 
@@ -172,8 +218,8 @@ func (a *viewAssembler) AddFile(f fsimage.File) error {
 		return err
 	}
 	tree := a.ts.Tree()
-	if n := len(a.files); n > 0 && f.ID <= a.files[n-1].ID {
-		return fmt.Errorf("distribute: shard file %d arrived out of order (after %d) (%w)", f.ID, a.files[n-1].ID, fsimage.ErrManifestIntegrity)
+	if a.fileCount > 0 && f.ID <= a.lastID {
+		return fmt.Errorf("distribute: shard file %d arrived out of order (after %d) (%w)", f.ID, a.lastID, fsimage.ErrManifestIntegrity)
 	}
 	if f.ID < 0 || f.ID >= a.hdr.Files {
 		return fmt.Errorf("distribute: shard file %d outside the plan's %d files (%w)", f.ID, a.hdr.Files, fsimage.ErrManifestIntegrity)
@@ -193,8 +239,13 @@ func (a *viewAssembler) AddFile(f fsimage.File) error {
 	if got := a.part.ShardOf(f.DirID); got != a.shard {
 		return fmt.Errorf("distribute: file %d belongs to shard %d, document claims shard %d (%w)", f.ID, got, a.shard, fsimage.ErrManifestIntegrity)
 	}
-	a.files = append(a.files, f)
+	a.lastID = f.ID
+	a.fileCount++
 	a.bytes += f.Size
+	if a.onFile != nil {
+		return a.onFile(f)
+	}
+	a.files = append(a.files, f)
 	return nil
 }
 
@@ -204,9 +255,9 @@ func (a *viewAssembler) finish() (*ShardView, error) {
 		return nil, err
 	}
 	sp := a.hdr.Shards[a.shard]
-	if len(a.part.Shards[a.shard]) != sp.Dirs || len(a.files) != sp.Files || a.bytes != sp.Bytes {
+	if len(a.part.Shards[a.shard]) != sp.Dirs || a.fileCount != sp.Files || a.bytes != sp.Bytes {
 		return nil, fmt.Errorf("distribute: shard %d document carried %d dirs, %d files, %d bytes; plan promises %d, %d, %d (%w)",
-			a.shard, len(a.part.Shards[a.shard]), len(a.files), a.bytes, sp.Dirs, sp.Files, sp.Bytes, fsimage.ErrManifestIntegrity)
+			a.shard, len(a.part.Shards[a.shard]), a.fileCount, a.bytes, sp.Dirs, sp.Files, sp.Bytes, fsimage.ErrManifestIntegrity)
 	}
 	return &ShardView{
 		Plan:                a.hdr,
@@ -215,7 +266,7 @@ func (a *viewAssembler) finish() (*ShardView, error) {
 		Shard:               a.shard,
 		Dirs:                a.part.Shards[a.shard],
 		Files:               a.files,
-		StreamedFileRecords: len(a.files),
+		StreamedFileRecords: a.fileCount,
 	}, nil
 }
 
@@ -226,6 +277,15 @@ func (a *viewAssembler) finish() (*ShardView, error) {
 // from the full plan: the restored plan fingerprint is bit-identical, so
 // manifests bind the same way.
 func DecodeShardView(r io.Reader) (*ShardView, error) {
+	return decodeShardDoc(r, nil, nil)
+}
+
+// decodeShardDoc is DecodeShardView parameterized by the assembler's
+// optional callbacks: with a non-nil onFile every validated file record
+// streams to it and the returned view carries the tree, partition, and plan
+// header but no Files slice — the fragment merge's O(dirs) path. onTree, if
+// set, fires once when the directory stream completes (see viewAssembler).
+func decodeShardDoc(r io.Reader, onFile func(fsimage.File) error, onTree func(*Plan, *namespace.Tree) error) (*ShardView, error) {
 	dec := json.NewDecoder(bufio.NewReaderSize(r, 64*1024))
 	if err := expectDelim(dec, '{', "shard document"); err != nil {
 		return nil, err
@@ -254,10 +314,11 @@ func DecodeShardView(r io.Reader) (*ShardView, error) {
 	// fingerprint manifests bind to depends on them.
 	hdr.Plan.Chunks = hdr.PlanChunks
 	hdr.Plan.ImageSHA256 = hdr.ImageSHA256
-	asm, err := newViewAssembler(hdr.Plan, hdr.Shard)
+	asm, err := newViewAssembler(hdr.Plan, hdr.Shard, onFile)
 	if err != nil {
 		return nil, err
 	}
+	asm.onTree = onTree
 	tok, err = dec.Token()
 	if err != nil {
 		return nil, fmt.Errorf("distribute: decoding shard document: %w", err)

@@ -2,6 +2,7 @@ package distribute
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -40,7 +41,7 @@ func streamPlanFile(t *testing.T, cfg core.Config, shards, chunkSize int, dir st
 func TestStreamPlanMatchesRetainedBytes(t *testing.T) {
 	cfg := testConfig()
 	for _, chunkSize := range []int{0, 64} {
-		retained, err := BuildPlan(cfg, 4, chunkSize)
+		retained, err := BuildPlan(context.Background(), PlanRequest{Config: cfg, MaxShards: 4, ChunkSize: chunkSize})
 		if err != nil {
 			t.Fatalf("BuildPlan: %v", err)
 		}

@@ -45,7 +45,7 @@ func testConfig() core.Config {
 // openTestPlan builds and opens a small sharded plan.
 func openTestPlan(t *testing.T, shards int) *distribute.OpenPlan {
 	t.Helper()
-	plan, err := distribute.BuildPlan(testConfig(), shards, 64)
+	plan, err := distribute.BuildPlan(context.Background(), distribute.PlanRequest{Config: testConfig(), MaxShards: shards, ChunkSize: 64})
 	if err != nil {
 		t.Fatalf("BuildPlan: %v", err)
 	}

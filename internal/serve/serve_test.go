@@ -492,3 +492,167 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition never became true")
 }
+
+// rawFragment fetches one fragment document's bytes over the wire so the
+// test can both execute it (DecodeShardView) and feed the merge verifier
+// the exact served stream.
+func rawFragment(t *testing.T, c *Client, fp string, shard int) []byte {
+	t.Helper()
+	resp, err := c.doIdempotent(context.Background(), http.MethodGet,
+		fmt.Sprintf("/v1/plans/%s/fragments/%d", fp, shard), nil)
+	if err != nil {
+		t.Fatalf("GET fragment %d: %v", shard, err)
+	}
+	defer resp.Body.Close()
+	doc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestPartitionedPlansServeFragments: a partitioned plan request returns a
+// fragment index, the served fragments execute and merge to the local
+// single-process digest, and the repeated request is an index cache hit.
+func TestPartitionedPlansServeFragments(t *testing.T) {
+	srv, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	spec := testSpec(1234)
+	const parts = 2
+
+	ix, err := c.PostPartitionedPlan(ctx, PlanRequest{Spec: spec, Partition: parts})
+	if err != nil {
+		t.Fatalf("PostPartitionedPlan: %v", err)
+	}
+	if ix.Shards != parts || len(ix.Fragments) != parts {
+		t.Fatalf("index promises %d shards / %d fragments, want %d", ix.Shards, len(ix.Fragments), parts)
+	}
+	if ix.Fingerprint == "" {
+		t.Fatal("index has no plan fingerprint")
+	}
+	if ix.Files != spec.NumFiles {
+		t.Fatalf("index reports %d files, spec asked for %d", ix.Files, spec.NumFiles)
+	}
+
+	specFP, err := distribute.SpecFingerprint(spec, parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	frags := make([][]byte, parts)
+	manifests := make([]*distribute.Manifest, parts)
+	for s := 0; s < parts; s++ {
+		frags[s] = rawFragment(t, c, specFP, s)
+		view, err := distribute.DecodeShardView(bytes.NewReader(frags[s]))
+		if err != nil {
+			t.Fatalf("DecodeShardView(%d): %v", s, err)
+		}
+		m, err := distribute.ExecuteShardView(view, root, distribute.WorkerOptions{})
+		if err != nil {
+			t.Fatalf("ExecuteShardView(%d): %v", s, err)
+		}
+		manifests[s] = m
+	}
+	res, err := distribute.MergeFragments(ctx, func(shard int) (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(frags[shard])), nil
+	}, manifests)
+	if err != nil {
+		t.Fatalf("MergeFragments: %v", err)
+	}
+	if res.Fingerprint != ix.Fingerprint {
+		t.Fatalf("merge bound plan %s, index advertised %s", res.Fingerprint, ix.Fingerprint)
+	}
+
+	cfg, err := core.ConfigFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.GenerateImage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localDigest, err := local.Image.Digest(fsimage.MaterializeOptions{
+		Registry: content.NewRegistry(content.KindDefault),
+		Seed:     spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != localDigest {
+		t.Fatalf("served fragments merged to %s, local run digests %s", res.Digest, localDigest)
+	}
+
+	// The second identical request must be served from the fragment cache.
+	built := srv.Stats().PlansBuilt
+	hits := srv.Stats().PlanCacheHits
+	again, err := c.PostPartitionedPlan(ctx, PlanRequest{Spec: spec, Partition: parts})
+	if err != nil {
+		t.Fatalf("repeated PostPartitionedPlan: %v", err)
+	}
+	if again.Fingerprint != ix.Fingerprint {
+		t.Fatalf("repeated request fingerprint %s != first %s", again.Fingerprint, ix.Fingerprint)
+	}
+	if got := srv.Stats().PlansBuilt; got != built {
+		t.Fatalf("repeated request rebuilt the plan (%d builds, was %d)", got, built)
+	}
+	if got := srv.Stats().PlanCacheHits; got != hits+1 {
+		t.Fatalf("repeated request recorded %d cache hits, want %d", got, hits+1)
+	}
+
+	// A PullFragment view must round-trip to the served bytes.
+	view, err := c.PullFragment(ctx, specFP, 0)
+	if err != nil {
+		t.Fatalf("PullFragment: %v", err)
+	}
+	var reenc bytes.Buffer
+	if err := view.Encode(&reenc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc.Bytes(), frags[0]) {
+		t.Fatal("PullFragment view re-encodes differently from the served fragment document")
+	}
+
+	// Conflicting shard counts are rejected up front.
+	if _, err := c.PostPartitionedPlan(ctx, PlanRequest{Spec: spec, Partition: parts, Shards: parts + 1}); StatusCode(err) != http.StatusBadRequest {
+		t.Fatalf("conflicting shards/partition: got %v, want HTTP 400", err)
+	}
+}
+
+// TestFragmentEndpointSlicesMonolithicPlans: when only a monolithic plan is
+// stored (built via the unpartitioned path), the fragments endpoint still
+// serves shard documents by slicing the stored plan — fragments and shard
+// slices are the same format.
+func TestFragmentEndpointSlicesMonolithicPlans(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	spec := testSpec(77)
+	const shards = 2
+
+	resp, err := c.PostPlan(ctx, PlanRequest{Spec: spec, Shards: shards})
+	if err != nil {
+		t.Fatalf("PostPlan: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	for s := 0; s < shards; s++ {
+		frag, err := c.PullFragment(ctx, resp.Fingerprint, s)
+		if err != nil {
+			t.Fatalf("PullFragment(%d): %v", s, err)
+		}
+		shard, err := c.PullShard(ctx, resp.Fingerprint, s)
+		if err != nil {
+			t.Fatalf("PullShard(%d): %v", s, err)
+		}
+		var a, b bytes.Buffer
+		if err := frag.Encode(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := shard.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("shard %d: fragment endpoint and shard endpoint disagree", s)
+		}
+	}
+}

@@ -116,6 +116,7 @@ func New(opts Options) *Server {
 	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/plans", s.handlePostPlans)
 	s.mux.HandleFunc("GET /v1/plans/{fp}/shards/{shard}", s.handleGetShard)
+	s.mux.HandleFunc("GET /v1/plans/{fp}/fragments/{shard}", s.handleGetFragment)
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/runs", s.handlePostRun)
@@ -262,6 +263,10 @@ func (s *Server) handlePostPlans(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if req.Partition > 0 {
+		s.servePartitionedPlan(ctx, w, req)
+		return
+	}
 	if req.Shards <= 0 {
 		req.Shards = 1
 	}
@@ -323,10 +328,182 @@ func (s *Server) handlePostPlans(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(HeaderFingerprint, fp)
 	w.Header().Set(HeaderCache, "bypass")
-	if _, err := distribute.StreamPlanContext(ctx, cfg, req.Shards, req.ChunkSize, w); err != nil {
+	if _, err := (distribute.PlanRequest{Config: cfg, MaxShards: req.Shards, ChunkSize: req.ChunkSize}).Stream(ctx, w); err != nil {
 		// Headers are out; all we can do is abort the stream mid-document so
 		// the client's decoder rejects it.
 		return
+	}
+}
+
+// fragmentKey is the store key of one fragment document: fragments are
+// content-addressed exactly like plans, so the fleet scheduler can lease
+// planning work the way it leases shard execution.
+func fragmentKey(fp string, shard int) string { return fmt.Sprintf("%s-frag-%d", fp, shard) }
+
+// fragmentIndexKey is the store key of a partitioned plan's index document.
+// It commits last, so an index hit implies every fragment was committed.
+func fragmentIndexKey(fp string) string { return fp + "-index" }
+
+// nopWriteCloser adapts a staged store writer to the io.WriteCloser
+// PartitionPlan expects, deferring commit/abort to the caller — the error
+// path must abort, never publish, a half-written fragment.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// servePartitionedPlan is the partitioned flavor of POST /v1/plans: build
+// (or fetch) Partition fragment documents plus an index, respond with the
+// index. Same cache discipline as the monolithic path — content address,
+// store probe, single-flight build, eviction bypass.
+func (s *Server) servePartitionedPlan(ctx context.Context, w http.ResponseWriter, req PlanRequest) {
+	if req.Shards != 0 && req.Shards != req.Partition {
+		writeError(w, fmt.Errorf("serve: shards %d conflicts with partition %d — fragments are shard documents, the counts must agree (%w)",
+			req.Shards, req.Partition, fsimage.ErrInvalidSpec))
+		return
+	}
+	if req.Partition > s.opts.MaxShards {
+		writeError(w, fmt.Errorf("serve: %d fragments exceeds the server's limit of %d (%w)", req.Partition, s.opts.MaxShards, fsimage.ErrInvalidSpec))
+		return
+	}
+	fp, err := distribute.SpecFingerprint(req.Spec, req.Partition, req.ChunkSize)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	key := fragmentIndexKey(fp)
+	if rc, size, err := s.opts.Store.Open(key); err == nil {
+		s.cacheHits.Add(1)
+		s.streamPlan(w, fp, "hit", rc, size)
+		return
+	}
+	s.cacheMisses.Add(1)
+
+	var leader bool
+	for {
+		leader, err = s.flight.do(ctx, key, func() error { return s.buildFragments(ctx, req, fp) })
+		if err == nil {
+			break
+		}
+		if !leader && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
+			continue
+		}
+		writeError(w, err)
+		return
+	}
+	state := "miss"
+	if !leader {
+		s.coalescedBuilds.Add(1)
+		state = "coalesced"
+	}
+	if rc, size, err := s.opts.Store.Open(key); err == nil {
+		s.streamPlan(w, fp, state, rc, size)
+		return
+	}
+
+	// The index was evicted between commit and re-open. Rebuild the
+	// fragments into the store and stream a fresh index straight to the
+	// response.
+	s.cacheBypass.Add(1)
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.release()
+	plan, err := s.partitionIntoStore(ctx, req, fp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderFingerprint, fp)
+	w.Header().Set(HeaderCache, "bypass")
+	fragmentIndexFor(plan, fp).Encode(w)
+}
+
+// buildFragments runs one cache-filling partitioned build under a worker
+// slot: all fragments staged and committed, then the index committed last.
+func (s *Server) buildFragments(ctx context.Context, req PlanRequest, fp string) error {
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+	key := fragmentIndexKey(fp)
+	if rc, _, err := s.opts.Store.Open(key); err == nil {
+		rc.Close()
+		return nil
+	}
+	plan, err := s.partitionIntoStore(ctx, req, fp)
+	if err != nil {
+		return err
+	}
+	iw, err := s.opts.Store.Create(key)
+	if err != nil {
+		return err
+	}
+	defer iw.Abort()
+	if err := fragmentIndexFor(plan, fp).Encode(iw); err != nil {
+		return err
+	}
+	if err := iw.Commit(); err != nil {
+		return err
+	}
+	s.plansBuilt.Add(1)
+	return nil
+}
+
+// partitionIntoStore streams a partitioned build into staged store entries,
+// committing every fragment only after the whole build succeeds — an error
+// (or a dead requester) aborts all of them, never publishing a partial set.
+func (s *Server) partitionIntoStore(ctx context.Context, req PlanRequest, fp string) (*distribute.Plan, error) {
+	cfg, err := planConfig(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	var writers []PlanWriter
+	abortAll := func() {
+		for _, pw := range writers {
+			pw.Abort()
+		}
+	}
+	plan, err := distribute.PartitionPlan(ctx,
+		distribute.PlanRequest{Config: cfg, Partition: req.Partition, ChunkSize: req.ChunkSize},
+		func(shard int) (io.WriteCloser, error) {
+			pw, err := s.opts.Store.Create(fragmentKey(fp, shard))
+			if err != nil {
+				return nil, err
+			}
+			writers = append(writers, pw)
+			return nopWriteCloser{pw}, nil
+		})
+	if err != nil {
+		abortAll()
+		return nil, err
+	}
+	for _, pw := range writers {
+		if err := pw.Commit(); err != nil {
+			abortAll()
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// fragmentIndexFor describes a partitioned plan to clients: the parent
+// fingerprint plus the fragments' store keys (fetchable via the fragments
+// endpoint).
+func fragmentIndexFor(plan *distribute.Plan, fp string) *distribute.FragmentIndex {
+	names := make([]string, len(plan.Shards))
+	for i := range names {
+		names[i] = fragmentKey(fp, i)
+	}
+	return &distribute.FragmentIndex{
+		FormatVersion: distribute.FragmentIndexVersion,
+		Fingerprint:   plan.Fingerprint(),
+		Shards:        len(plan.Shards),
+		Files:         plan.Files,
+		Dirs:          plan.Dirs,
+		Bytes:         plan.Bytes,
+		Fragments:     names,
 	}
 }
 
@@ -366,7 +543,7 @@ func (s *Server) buildPlan(ctx context.Context, req PlanRequest, fp string) erro
 		return err
 	}
 	defer pw.Abort()
-	if _, err := distribute.StreamPlanContext(ctx, cfg, req.Shards, req.ChunkSize, pw); err != nil {
+	if _, err := (distribute.PlanRequest{Config: cfg, MaxShards: req.Shards, ChunkSize: req.ChunkSize}).Stream(ctx, pw); err != nil {
 		return err
 	}
 	if err := pw.Commit(); err != nil {
@@ -404,6 +581,52 @@ func (s *Server) handleGetShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	rc, _, err := s.opts.Store.Open(fp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer rc.Close()
+	view, err := distribute.DecodePlanShard(rc, shard)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderFingerprint, fp)
+	if err := view.Encode(w); err != nil {
+		return
+	}
+	s.shardsServed.Add(1)
+}
+
+// handleGetFragment streams one fragment document of a partitioned plan.
+// Stored fragments are served verbatim; on a miss the server derives the
+// fragment by slicing a stored monolithic plan — fragments are shard
+// documents, so the two sources are byte-identical.
+func (s *Server) handleGetFragment(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	fp := r.PathValue("fp")
+	shard, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil {
+		writeError(w, fmt.Errorf("serve: fragment index %q is not a number (%w)", r.PathValue("shard"), fsimage.ErrInvalidSpec))
+		return
+	}
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.release()
+	if rc, size, err := s.opts.Store.Open(fragmentKey(fp, shard)); err == nil {
+		defer rc.Close()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		w.Header().Set(HeaderFingerprint, fp)
+		io.Copy(w, rc)
+		s.shardsServed.Add(1)
+		return
+	}
 	rc, _, err := s.opts.Store.Open(fp)
 	if err != nil {
 		writeError(w, err)
