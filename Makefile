@@ -145,11 +145,22 @@ fleet-fault-check:
 mem-check:
 	$(GO) test ./internal/distribute -run 'TestStreamedPlanBuildMemoryBound|TestPartitionedPlanBuildMemoryBound' -v -timeout 15m
 
+# lint = the full static gate: stock go vet, gofmt, and the project's
+# determinism-contract checkers (cmd/impressionsvet) run as a vet tool so
+# findings integrate with go vet's caching and package graph. staticcheck
+# and govulncheck run when installed (CI installs pinned versions; local
+# runs skip them rather than forcing a download).
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
 	fi
+	$(GO) build -o bin/impressionsvet ./cmd/impressionsvet
+	$(GO) vet -vettool=$(abspath bin/impressionsvet) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it pinned)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it pinned)"; fi
 
 fmt:
 	gofmt -w .

@@ -585,6 +585,7 @@ func runFleetWorker(base, outRoot, workDir string, batchFiles int, idleExit time
 	})
 	if errors.Is(err, distribute.ErrSimulatedCrash) {
 		fmt.Fprintf(stdout, "worker %s: injected crash — SIGKILL\n", st.WorkerID)
+		//impressions:nondeterministic fault injection must kill this very process, pid is the point
 		syscall.Kill(os.Getpid(), syscall.SIGKILL)
 	}
 	if err != nil {

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"impressions/internal/analysis"
+)
+
+// vetConfig is the subset of the go command's vet.cfg JSON this tool needs.
+// The protocol: `go vet -vettool=...` writes one cfg per package and invokes
+// the tool with its path; the tool type-checks the listed files, runs its
+// analyzers, writes a facts file to VetxOutput (empty here — these analyzers
+// export no facts), prints findings to stderr, and exits 2 when it found any.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+	// Facts protocol: the go command expects the .vetx output file to exist
+	// even though these analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // facts-only invocation for a dependency package
+	}
+
+	// Type-check from source: the module has no third-party deps, so every
+	// import resolves through the module tree or GOROOT without reading the
+	// export data in cfg.PackageFile. ImportMap still applies (it maps
+	// source-level import paths to canonical ones, e.g. vendored std).
+	loader, err := analysis.NewLoader(cfg.Dir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cfg.ImportMap) > 0 {
+		loader.SetImportMap(cfg.ImportMap)
+	}
+	pkg, err := loader.LoadFiles(cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	diags, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String(loader.Fset))
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

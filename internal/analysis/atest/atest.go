@@ -1,0 +1,140 @@
+// Package atest is the project's stand-in for
+// golang.org/x/tools/go/analysis/analysistest (which this module cannot
+// vendor): it loads fixture packages from a testdata/src overlay, runs
+// analyzers over them, and checks the findings line-by-line against
+// `// want "regex"` comments in the fixture sources.
+//
+// Expectation syntax, on the flagged line:
+//
+//	x := time.Now() // want `time\.Now is ambient`
+//	y := seed + 1   // want "seed derived" "second expectation"
+//
+// Both Go-quoted and backquoted regexes are accepted; several may follow
+// one want. Every expectation must be matched by a diagnostic on its line
+// and every diagnostic must match an expectation — mismatches in either
+// direction fail the test.
+package atest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"impressions/internal/analysis"
+)
+
+// Run loads each fixture package from <testdata>/src/<path>, runs the
+// analyzers over it, and asserts the findings exactly match the fixture's
+// want-comments.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := analysis.NewFixtureLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("atest: load %s: %v", path, err)
+		}
+		diags, err := analysis.RunPackage(p, analyzers)
+		if err != nil {
+			t.Fatalf("atest: run %s: %v", path, err)
+		}
+		checkPackage(t, l.Fset, p, diags)
+	}
+}
+
+// expectation is one want-regex at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func checkPackage(t *testing.T, fset *token.FileSet, p *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := wantText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWants(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := d.Position(fset)
+		if !matchWant(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", pos.Filename, pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// matchWant consumes the first unmet expectation on the diagnostic's line
+// whose regex matches its message.
+func matchWant(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantText extracts the expectation list from a comment carrying a
+// `// want ...` marker — either the whole comment or, so annotation
+// fixtures can be asserted on their own line, trailing another comment
+// (`//impressions:nondeterministic x // want "..."`).
+func wantText(comment string) (string, bool) {
+	const marker = "// want "
+	i := strings.Index(comment, marker)
+	if i < 0 {
+		return "", false
+	}
+	return strings.TrimSpace(comment[i+len(marker):]), true
+}
+
+// parseWants parses a sequence of Go-quoted or backquoted regexes.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regex at %q", s)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad regex %q: %v", lit, err)
+		}
+		out = append(out, re)
+		s = s[len(q):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no expectations")
+	}
+	return out, nil
+}

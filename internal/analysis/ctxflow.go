@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow flags context.Background() / context.TODO() inside exported
+// functions that already receive a ctx.
+//
+// A function that takes a context.Context promises its caller cancellation
+// and deadline flow-through; minting a fresh Background inside it silently
+// severs that chain — a request outlives its HTTP client, a worker ignores
+// SIGTERM drain. The fix is to use (or derive from) the received ctx.
+// Exported functions only: unexported helpers that *deliberately* detach
+// (fire-and-forget journal flushes) stay expressible, at the cost of being
+// spelled out in a named helper instead of inline.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background/TODO inside exported functions that " +
+		"already receive a context.Context parameter",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			ctxParam := contextParamName(pass, fn)
+			if ctxParam == "" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := pkgFunc(pass.Info, sel)
+				if !ok || pkgPath != "context" || (name != "Background" && name != "TODO") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s already receives %s; use it (or derive from it) instead of context.%s, which severs cancellation flow", fn.Name.Name, ctxParam, name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// contextParamName returns the name of the function's context.Context
+// parameter, or "" if it has none (or it is blank).
+func contextParamName(pass *Pass, fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetClock flags ambient-nondeterminism sources.
+//
+// Two tiers of rules:
+//
+//   - Inside the deterministic packages, any read of ambient state is a
+//     finding: wall-clock (time.Now/Since/After/tickers/Sleep), the global
+//     math/rand source, crypto/rand, process identity (os.Getpid,
+//     os.Hostname), and the environment (os.Getenv). Observability time
+//     must route through impressions/internal/clock (exempt); everything
+//     else must be injected by the caller. Suppression annotations are NOT
+//     honored here — they are themselves findings.
+//
+//   - Module-wide, the global math/rand source (rand.Intn, rand.Shuffle,
+//     rand.Seed, ...) and os.Getpid are findings even outside the
+//     deterministic packages: global-source draws contend on one lock and
+//     make backoff untestable — inject a seeded source instead. The
+//     `//impressions:nondeterministic <reason>` annotation suppresses
+//     these where the ambient read is the point (e.g. fault injection
+//     killing its own pid).
+//
+// DetClock also owns annotation hygiene: a bare annotation (no reason)
+// anywhere, or any annotation inside a deterministic package, is a finding
+// the annotation cannot silence.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc: "flags wall-clock, global RNG, and other ambient-nondeterminism reads " +
+		"in deterministic packages (and global math/rand / os.Getpid module-wide)",
+	Run: runDetClock,
+}
+
+// detBannedFuncs maps package path -> function names banned inside
+// deterministic packages.
+var detBannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now": "", "Since": "", "Until": "", "After": "", "AfterFunc": "",
+		"Tick": "", "NewTicker": "", "NewTimer": "", "Sleep": "",
+	},
+	"os": {
+		"Getpid": "", "Getppid": "", "Hostname": "", "Getenv": "",
+		"LookupEnv": "", "Environ": "", "Getuid": "", "Getgid": "",
+	},
+	"crypto/rand": {
+		"Read": "", "Int": "", "Prime": "", "Text": "",
+	},
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared global source; banned module-wide.
+var globalRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"UintN": true, "Uint": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func runDetClock(pass *Pass) error {
+	det := IsDeterministicPkg(pass.Pkg.Path())
+	isClockPkg := strings.HasSuffix(pass.Pkg.Path(), "/"+clockPkgSuffix) || pass.Pkg.Path() == clockPkgSuffix
+
+	for _, f := range pass.Files {
+		// Annotation hygiene.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AnnotationPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				if det {
+					pass.ReportUnsuppressable(c.Pos(),
+						"suppression annotation in deterministic package %s: the determinism contract has no escape hatch here — inject the dependency or move the code out", pass.Pkg.Path())
+					continue
+				}
+				if strings.TrimSpace(rest) == "" {
+					pass.ReportUnsuppressable(c.Pos(),
+						"suppression annotation needs a reason: `%s <why this nondeterminism is deliberate>`", AnnotationPrefix)
+				}
+			}
+		}
+
+		if isClockPkg {
+			continue // the sanctioned boundary may read the wall clock
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFunc(pass.Info, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[name]:
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the process-global RNG: inject a seeded source (stats.RNG or rand.New) instead", pkgPath, name)
+			case pkgPath == "os" && name == "Getpid" && !det:
+				pass.Reportf(sel.Pos(),
+					"os.Getpid reads ambient process identity: derive IDs from injected state, or annotate why the real pid is required")
+			case det:
+				if names, banned := detBannedFuncs[pkgPath]; banned {
+					if _, bad := names[name]; bad {
+						hint := "inject the value from the caller"
+						if pkgPath == "time" {
+							hint = "route observability time through internal/clock"
+						}
+						pass.Reportf(sel.Pos(),
+							"%s.%s is ambient nondeterminism in deterministic package %s: %s", pkgPath, name, pass.Pkg.Path(), hint)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap flags `range` over a map inside the deterministic packages.
+//
+// Go randomizes map iteration order per run, so any map range on a path
+// that emits records, hashes, or wire bytes silently breaks byte-identical
+// reproduction. Rather than prove emission (undecidable through calls), the
+// analyzer inverts the burden: inside deterministic packages a map range is
+// a finding unless its body is provably order-insensitive:
+//
+//   - key/value collection: the body's only statement appends the range
+//     variables to a slice, AND that slice is passed to a sort call
+//     (sort.* or slices.Sort*) later in the same function — the canonical
+//     collect-then-sort idiom;
+//   - commutative integer accumulation: `n += v`, `n++`, `n--`, `n |= v`,
+//     `n ^= v`, `n &= v` on integer variables;
+//   - order-free map-to-map transfer: `m2[k] = <pure expr>` or
+//     `delete(m2, k)` where the stored expression contains no calls.
+//
+// Everything else must iterate sorted keys. There is no suppression inside
+// deterministic packages; rewrite the loop.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc: "flags map iteration in deterministic packages unless the loop is " +
+		"provably order-insensitive or its keys are collected and sorted",
+	Run: runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Walk function by function so the collect-then-sort check can see
+		// the statements that follow the loop.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges flags unordered map ranges syntactically contained in fn's
+// own statement list (nested FuncLits are visited by their own call).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n.Pos() != body.Pos() {
+			return false // handled by its own walk
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if orderInsensitiveBody(pass, rng, body) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"map iteration order is nondeterministic in deterministic package %s: collect keys into a slice and sort before ranging", pass.Pkg.Path())
+		return true
+	})
+}
+
+// orderInsensitiveBody reports whether every statement in the range body is
+// one of the whitelisted commutative forms (and, for collection, that the
+// destination slice is sorted later in the function).
+func orderInsensitiveBody(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isInteger(pass, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !orderInsensitiveAssign(pass, rng, fnBody, s) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m2, k) removes by key: order-free.
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call.Fun, "delete") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveAssign(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN:
+		// Commutative only over integers (float addition is not associative,
+		// so its sum depends on iteration order).
+		return isInteger(pass, lhs) && !containsCall(rhs)
+	case token.ASSIGN:
+		// m2[k] = <pure expr>: inserting into another map is order-free as
+		// long as the value doesn't depend on loop-carried state or calls.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if t := pass.Info.TypeOf(ix.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return !containsCall(rhs) && !containsCall(ix.Index)
+				}
+			}
+			return false
+		}
+		// keys = append(keys, k): collection, legal iff sorted afterwards.
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) < 2 {
+			return false
+		}
+		dst, ok := lhs.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		base, ok := call.Args[0].(*ast.Ident)
+		if !ok || base.Name != dst.Name {
+			return false
+		}
+		for _, a := range call.Args[1:] {
+			if containsCall(a) {
+				return false
+			}
+		}
+		return sortedAfter(pass, rng, fnBody, dst)
+	default:
+		return false
+	}
+}
+
+// sortedAfter reports whether, after the range statement, the function
+// passes the collected slice to a sort.* / slices.Sort* call (or a local
+// helper whose name starts with "sort").
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt, slice *ast.Ident) bool {
+	sliceObj := pass.Info.ObjectOf(slice)
+	if sliceObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call.Fun) {
+			return true
+		}
+		for _, a := range call.Args {
+			if mentionsObject(pass, a, sliceObj) {
+				found = true
+				return false
+			}
+		}
+		// sort.Slice(keys, func...) style receivers handled above; also
+		// accept method-style sorted := slices.Sorted(maps.Keys(m)).
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *Pass, fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if pkgPath, name, ok := pkgFunc(pass.Info, f); ok {
+			if pkgPath == "sort" {
+				return true
+			}
+			if pkgPath == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc") {
+				return true
+			}
+		}
+	case *ast.Ident:
+		// A local sort helper (sortFiles(keys), sortInts(...)).
+		return len(f.Name) >= 4 && (f.Name[:4] == "sort" || f.Name[:4] == "Sort")
+	}
+	return false
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	seen := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			seen = true
+			return false
+		}
+		return !seen
+	})
+	return seen
+}
+
+func containsCall(e ast.Expr) bool {
+	has := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr:
+			has = true
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return !has
+	})
+	return has
+}
+
+func isInteger(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}

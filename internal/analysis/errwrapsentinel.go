@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// ErrWrapSentinel requires integrity/validation error constructions to wrap
+// a typed sentinel with %w.
+//
+// The serving layer maps sentinels to HTTP statuses (fsimage.ErrInvalidSpec
+// -> 400, fsimage.ErrPlanVersion -> 409, fsimage.ErrManifestIntegrity ->
+// 500) and the supervisor decides retry-vs-fail with errors.Is. A bare
+// fmt.Errorf("shard %d out of range") in those packages silently turns a
+// client error into a 500 and never rots a test — exactly the kind of decay
+// only a static check catches.
+//
+// Scope: packages that define or reference one of the typed sentinels. In
+// them, every fmt.Errorf whose message reads as an integrity or validation
+// failure (mismatch / tampering / truncation / out-of-range wording) must
+// carry a %w verb wrapping *some* error — normally the sentinel itself, or
+// an upstream error that already wraps it.
+var ErrWrapSentinel = &Analyzer{
+	Name: "errwrapsentinel",
+	Doc: "requires integrity/validation fmt.Errorf constructions in " +
+		"sentinel-aware packages to wrap a typed sentinel with %w",
+	Run: runErrWrapSentinel,
+}
+
+// sentinelNames are the typed sentinels of the public error contract.
+var sentinelNames = map[string]bool{
+	"ErrInvalidSpec":       true,
+	"ErrPlanVersion":       true,
+	"ErrManifestIntegrity": true,
+}
+
+// integrityWording matches error text that asserts an integrity or
+// validation failure. Tuned to this repo's diagnostic idiom ("header
+// promises", "plan expects", "does not match", ...): every phrase below
+// names a condition where a caller will dispatch on errors.Is.
+var integrityWording = regexp.MustCompile(`(?i)` + strings.Join([]string{
+	`integrity`,
+	`tamper`,
+	`corrupt`,
+	`truncat`,
+	`mismatch`,
+	`does not match`,
+	`do not match`,
+	`out of range`,
+	`header promises`,
+	`plan expects`,
+	`plan assigns`,
+	`plan says`,
+	`different plan`,
+	`missing the content hash`,
+	`incompatible`,
+	`unknown shard`,
+	`duplicate manifest`,
+}, `|`))
+
+func runErrWrapSentinel(pass *Pass) error {
+	if !referencesSentinel(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFunc(pass.Info, sel)
+			if !ok || pkgPath != "fmt" || name != "Errorf" || len(call.Args) == 0 {
+				return true
+			}
+			format, ok := constString(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			if !integrityWording.MatchString(format) {
+				return true
+			}
+			if strings.Contains(format, "%w") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"integrity/validation error %q does not wrap its typed sentinel: add %%w (fsimage.ErrInvalidSpec / ErrPlanVersion / ErrManifestIntegrity) so errors.Is and the HTTP status mapping keep working", truncateFormat(format))
+			return true
+		})
+	}
+	return nil
+}
+
+// referencesSentinel reports whether the package defines or uses one of the
+// typed sentinels — the self-scoping rule that keeps the check away from
+// packages outside the error contract.
+func referencesSentinel(pass *Pass) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && sentinelNames[id.Name] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func truncateFormat(s string) string {
+	if len(s) > 48 {
+		return s[:45] + "..."
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AnnotationPrefix is the suppression escape hatch of the determinism
+// contract: `//impressions:nondeterministic <reason>` on — or on the line
+// directly above — a flagged statement silences the finding. The reason is
+// mandatory, and the annotation is only honored outside the deterministic
+// packages; inside them detclock reports the annotation itself.
+const AnnotationPrefix = "//impressions:nondeterministic"
+
+// annotation is one parsed suppression comment.
+type annotation struct {
+	pos    token.Pos
+	line   int
+	reason string
+}
+
+// fileAnnotations extracts every suppression annotation in a file, keyed by
+// the line it covers. A full-line annotation covers the next line as well.
+func fileAnnotations(fset *token.FileSet, f *ast.File) map[int]annotation {
+	anns := make(map[int]annotation)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, AnnotationPrefix)
+			if !ok {
+				continue
+			}
+			// Require a clean token boundary: "//impressions:nondeterministicfoo"
+			// is not an annotation.
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			ann := annotation{pos: c.Pos(), line: line, reason: strings.TrimSpace(rest)}
+			anns[line] = ann
+			anns[line+1] = ann
+		}
+	}
+	return anns
+}
+
+// suppressions indexes annotations across a package's files for the driver.
+type suppressions struct {
+	fset  *token.FileSet
+	files map[string]map[int]annotation
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset, files: make(map[string]map[int]annotation)}
+	for _, f := range files {
+		pos := fset.Position(f.Pos())
+		s.files[pos.Filename] = fileAnnotations(fset, f)
+	}
+	return s
+}
+
+// covers reports whether a valid (reason-bearing) annotation covers pos.
+func (s *suppressions) covers(pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	ann, ok := s.files[p.Filename][p.Line]
+	return ok && ann.reason != ""
+}

@@ -1,0 +1,29 @@
+// Package ctxfix seeds context.Background/TODO calls inside exported
+// functions that already receive a ctx — the cancellation-severing hazard
+// ctxflow exists to catch.
+package ctxfix
+
+import "context"
+
+func Exported(ctx context.Context) error {
+	return run(context.Background()) // want `already receives ctx`
+}
+
+func ExportedTODO(ctx context.Context, n int) error {
+	_ = n
+	return run(context.TODO()) // want `already receives ctx`
+}
+
+func unexported(ctx context.Context) error {
+	return run(context.Background()) // deliberate detach stays expressible unexported
+}
+
+func Fresh() error {
+	return run(context.Background()) // no ctx received: minting one is the job
+}
+
+func ExportedBlank(_ context.Context) error {
+	return run(context.Background()) // a blank ctx param promises nothing
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,11 @@
+// Package hygiene seeds a bare (reason-less) suppression annotation; the
+// detclock test asserts both the hygiene finding and that the bare
+// annotation fails to suppress the os.Getpid finding under it.
+package hygiene
+
+import "os"
+
+func Pid() int {
+	//impressions:nondeterministic
+	return os.Getpid()
+}

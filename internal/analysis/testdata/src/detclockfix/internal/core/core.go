@@ -1,0 +1,31 @@
+// Package core mirrors a deterministic package (path suffix internal/core)
+// so detclock's strict tier applies: any ambient read is a finding and the
+// suppression annotation is itself a finding.
+package core
+
+import (
+	"crypto/rand"
+	"os"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now is ambient nondeterminism in deterministic package`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since is ambient nondeterminism`
+}
+
+func Env() string {
+	return os.Getenv("HOME") // want `os\.Getenv is ambient nondeterminism`
+}
+
+func Entropy(b []byte) {
+	rand.Read(b) // want `crypto/rand\.Read is ambient nondeterminism`
+}
+
+func Annotated() time.Time {
+	//impressions:nondeterministic tempting, but illegal in here // want `no escape hatch`
+	return time.Now() // want `time\.Now is ambient nondeterminism`
+}

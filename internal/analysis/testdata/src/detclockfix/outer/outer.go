@@ -1,0 +1,32 @@
+// Package outer sits outside the deterministic set: wall-clock reads are
+// legal, but global-source RNG draws and os.Getpid are still findings —
+// suppressible with a reasoned annotation.
+package outer
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+func Jitter(n int64) int64 {
+	return rand.Int63n(n) // want `draws from the process-global RNG`
+}
+
+func JitterV2(n int) int {
+	return randv2.IntN(n) // want `draws from the process-global RNG`
+}
+
+func Pid() int {
+	return os.Getpid() // want `reads ambient process identity`
+}
+
+func PidForKill() int {
+	//impressions:nondeterministic fault injection must target this very process
+	return os.Getpid()
+}
+
+func Stamp() time.Time {
+	return time.Now() // wall-clock is fine outside the deterministic packages
+}

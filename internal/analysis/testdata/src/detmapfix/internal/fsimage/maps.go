@@ -1,0 +1,72 @@
+// Package fsimage mirrors a deterministic package (path suffix
+// internal/fsimage) so detmap applies: map ranges must be provably
+// order-insensitive or iterate sorted keys.
+package fsimage
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Emit(m map[string]int) {
+	for k := range m { // want `map iteration order is nondeterministic`
+		fmt.Println(k)
+	}
+}
+
+func EmitSorted(m map[string]int) {
+	var keys []string
+	for k := range m { // collect-then-sort: legal
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m { // commutative integer accumulation: legal
+		n += v
+	}
+	return n
+}
+
+func SumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v // float addition is not associative
+	}
+	return s
+}
+
+func Mask(m map[string]uint64) uint64 {
+	var bits uint64
+	for _, v := range m { // commutative bitwise accumulation: legal
+		bits |= v
+	}
+	return bits
+}
+
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // pure map-to-map insert: legal
+		out[k] = v
+	}
+	return out
+}
+
+func Drop(m, bad map[string]bool) {
+	for k := range bad { // delete-by-key: legal
+		delete(m, k)
+	}
+}

@@ -1,0 +1,13 @@
+// Package stats mirrors the repo's internal/stats (matched by path
+// suffix), so rngderive checks the seed argument of its NewRNG.
+package stats
+
+type RNG struct{ state uint64 }
+
+func NewRNG(seed int64) *RNG { return &RNG{state: uint64(seed)} }
+
+func (r *RNG) Fork(key string) *RNG { return &RNG{state: r.state ^ uint64(len(key))} }
+
+func (r *RNG) SplitN(i uint64) *RNG { return &RNG{state: r.state + i} }
+
+func DeriveSeedIndex(seed int64, i uint64) int64 { return seed ^ int64(i*0x9e3779b97f4a7c15) }

@@ -1,0 +1,35 @@
+// Package rngfix seeds ad-hoc seed arithmetic feeding RNG constructors —
+// the lagged-stream hazard rngderive exists to catch.
+package rngfix
+
+import (
+	"math/rand"
+
+	"rngfix/internal/stats"
+)
+
+func PerTrial(seed int64, trial int) *stats.RNG {
+	return stats.NewRNG(seed + int64(trial)) // want `seed derived by arithmetic`
+}
+
+func PerShard(seed int64, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(shard))) // want `seed derived by arithmetic`
+}
+
+func Root(seed int64) *stats.RNG {
+	return stats.NewRNG(seed) // the root stream takes the raw seed: legal
+}
+
+func Derived(seed int64, trial int) *stats.RNG {
+	// Laundering through the frozen contract is the fix, not a finding.
+	return stats.NewRNG(stats.DeriveSeedIndex(seed, uint64(trial)))
+}
+
+func Forked(seed int64, trial int) *stats.RNG {
+	return stats.NewRNG(seed).Fork("trials").SplitN(uint64(trial))
+}
+
+func Throwaway(seed int64) *rand.Rand {
+	//impressions:nondeterministic scratch stream for a doc example, never hashed or shipped
+	return rand.New(rand.NewSource(seed + 1))
+}

@@ -1,0 +1,9 @@
+// Package plain never references a sentinel, so the self-scoping rule
+// keeps errwrapsentinel off even for integrity-flavored wording.
+package plain
+
+import "fmt"
+
+func Bare(shard, n int) error {
+	return fmt.Errorf("shard %d out of range [0,%d)", shard, n)
+}

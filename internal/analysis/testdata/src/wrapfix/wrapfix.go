@@ -1,0 +1,26 @@
+// Package wrapfix references a typed sentinel, so errwrapsentinel's
+// self-scoping rule turns the check on for its fmt.Errorf constructions.
+package wrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrManifestIntegrity = errors.New("wrapfix: manifest integrity violated")
+
+func Bare(shard, n int) error {
+	return fmt.Errorf("shard %d out of range [0,%d)", shard, n) // want `does not wrap its typed sentinel`
+}
+
+func Wrapped(shard, n int) error {
+	return fmt.Errorf("shard %d out of range [0,%d) (%w)", shard, n, ErrManifestIntegrity)
+}
+
+func Mismatch(a, b string) error {
+	return fmt.Errorf("digest mismatch: %s != %s", a, b) // want `does not wrap its typed sentinel`
+}
+
+func Unrelated(name string) error {
+	return fmt.Errorf("open %s: no such entry", name) // wording outside the integrity vocabulary
+}

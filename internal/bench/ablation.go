@@ -142,7 +142,7 @@ func (a Ablation) constraintResolution(w io.Writer, opts Options) error {
 		var successes int
 		var alphas []float64
 		for trial := 0; trial < trials; trial++ {
-			rng := stats.NewRNG(opts.Seed + int64(trial)*31337)
+			rng := stats.NewRNG(opts.Seed).Fork("constraint-ablation").SplitN(uint64(trial))
 			r := constraint.NewResolver(rng)
 			res, err := r.Resolve(constraint.Problem{
 				N: n, TargetSum: target, Dist: constraintDist(),

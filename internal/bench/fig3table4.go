@@ -54,7 +54,7 @@ func (f Fig3) Run(w io.Writer, opts Options) error {
 
 	var lastSuccess *constraint.Result
 	for trial := 0; trial < trials; trial++ {
-		rng := stats.NewRNG(opts.Seed + int64(trial)*104729)
+		rng := stats.NewRNG(opts.Seed).Fork("fig3-trials").SplitN(uint64(trial))
 		resolver := constraint.NewResolver(rng)
 		resolver.RecordConvergence(true)
 		res, err := resolver.Resolve(constraint.Problem{
@@ -83,7 +83,7 @@ func (f Fig3) Run(w io.Writer, opts Options) error {
 
 	// (b) and (c): original vs constrained distributions for a successful
 	// trial, by file count and by bytes.
-	rng := stats.NewRNG(opts.Seed ^ 0x5eed)
+	rng := stats.NewRNG(opts.Seed).Fork("fig3-original")
 	original := stats.SampleN(constraintDist(), rng, n)
 
 	origCount := stats.NewPowerOfTwoHistogram(24)
@@ -197,7 +197,7 @@ func (t4 Table4) Measure(opts Options) ([]Table4Row, int, error) {
 		var successes int
 		var initBetas, finalBetas, alphas, dCounts, dBytes []float64
 		for trial := 0; trial < trials; trial++ {
-			rng := stats.NewRNG(opts.Seed + int64(fi*1000+trial)*6151)
+			rng := stats.NewRNG(opts.Seed).Fork("table4").SplitN(uint64(fi)).SplitN(uint64(trial))
 			resolver := constraint.NewResolver(rng)
 			res, err := resolver.Resolve(constraint.Problem{
 				N: n, TargetSum: target, Dist: constraintDist(),

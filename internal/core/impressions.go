@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"impressions/internal/clock"
 	"impressions/internal/constraint"
 	"impressions/internal/dataset"
 	"impressions/internal/disk"
@@ -75,7 +76,7 @@ func (g *Generator) GenerateContext(ctx context.Context) (*Result, error) {
 	}
 	// Materializing the retained image is part of the placement phase's
 	// accounting (it is where the file records spring into existence).
-	start := time.Now()
+	start := clock.Now()
 	img := m.Image()
 	m.phases["file and bytes with depth"] += seconds(start)
 
@@ -84,7 +85,7 @@ func (g *Generator) GenerateContext(ctx context.Context) (*Result, error) {
 	// the refactor onto ResolveMetadata leaves every draw unchanged.
 	achievedLayout := 1.0
 	if cfg.SimulateDisk {
-		start = time.Now()
+		start = clock.Now()
 		d, score, derr := g.simulateDisk(img, stats.NewRNG(cfg.Seed).Fork("disk"))
 		if derr != nil {
 			return nil, derr
@@ -371,8 +372,10 @@ func GenerateImageContext(ctx context.Context, cfg Config) (*Result, error) {
 	return gen.GenerateContext(ctx)
 }
 
-// seconds returns the elapsed wall-clock seconds since start.
-func seconds(start time.Time) float64 { return time.Since(start).Seconds() }
+// seconds returns the elapsed wall-clock seconds since start, read through
+// the sanctioned internal/clock boundary (the determinism contract bans raw
+// time.Now/time.Since in this package; see internal/analysis).
+func seconds(start time.Time) float64 { return clock.Since(start).Seconds() }
 
 // Dataset returns the dataset backing this generator's defaults.
 func (g *Generator) Dataset() *dataset.Dataset { return g.cfg.Dataset }

@@ -3,8 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
+	"impressions/internal/clock"
 	"impressions/internal/constraint"
 	"impressions/internal/fsimage"
 	"impressions/internal/namespace"
@@ -161,7 +161,7 @@ func (g *Generator) ResolveMetadataContext(ctx context.Context) (*Metadata, erro
 	// Phase 1: directory structure (namespace skeleton), built with
 	// deterministic speculative attachment: identical trees at every
 	// parallelism level.
-	start := time.Now()
+	start := clock.Now()
 	tree := namespace.GenerateTreeParallel(rng.Fork("namespace"), cfg.NumDirs, cfg.TreeShape,
 		effectiveParallelism(cfg.Parallelism))
 	if cfg.UseSpecialDirectories {
@@ -173,7 +173,7 @@ func (g *Generator) ResolveMetadataContext(ctx context.Context) (*Metadata, erro
 	}
 
 	// Phase 2: file sizes under the sum constraint (§3.4).
-	start = time.Now()
+	start = clock.Now()
 	sizes, convergence, err := g.resolveSizes(rng.Fork("sizes"))
 	if err != nil {
 		return nil, err
@@ -184,7 +184,7 @@ func (g *Generator) ResolveMetadataContext(ctx context.Context) (*Metadata, erro
 	}
 
 	// Phase 3: extensions from the percentile table (sharded workers).
-	start = time.Now()
+	start = clock.Now()
 	exts := g.assignExtensions(ctx, rng.Fork("extensions"), len(sizes))
 	phases["popular extensions"] = seconds(start)
 	if err := ctx.Err(); err != nil {
@@ -193,7 +193,7 @@ func (g *Generator) ResolveMetadataContext(ctx context.Context) (*Metadata, erro
 
 	// Phase 4: file depths and parent directories (multiplicative model),
 	// run as the two-pass sharded placement pipeline.
-	start = time.Now()
+	start = clock.Now()
 	parents, err := g.placeFiles(ctx, tree, sizes, rng)
 	if err != nil {
 		return nil, err
@@ -220,7 +220,7 @@ func (g *Generator) ResolveMetadataContext(ctx context.Context) (*Metadata, erro
 func (m *Metadata) report(cfg Config, achievedLayout float64) fsimage.Report {
 	r := fsimage.Report{
 		Spec:                m.spec,
-		GeneratedAt:         time.Now(),
+		GeneratedAt:         clock.Now(),
 		ActualFiles:         m.FileCount(),
 		ActualDirs:          m.DirCount(),
 		ActualBytes:         m.totalBytes,

@@ -8,8 +8,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"time"
 
+	"impressions/internal/clock"
 	"impressions/internal/constraint"
 	"impressions/internal/fsimage"
 	"impressions/internal/namespace"
@@ -239,7 +239,7 @@ func (g *Generator) resolveMetadataSpill(ctx context.Context) (*Metadata, error)
 
 	// Phase 1: directory structure — identical to the in-memory pass (the
 	// compact tree is O(dirs) and stays resident in both modes).
-	start := time.Now()
+	start := clock.Now()
 	tree := namespace.GenerateTreeParallel(rng.Fork("namespace"), cfg.NumDirs, cfg.TreeShape,
 		effectiveParallelism(cfg.Parallelism))
 	if cfg.UseSpecialDirectories {
@@ -262,7 +262,7 @@ func (g *Generator) resolveMetadataSpill(ctx context.Context) (*Metadata, error)
 	}()
 
 	// Phase 2: file sizes under the sum constraint, streamed to the column.
-	start = time.Now()
+	start = clock.Now()
 	convergence, err := g.resolveSizesSpill(sp)
 	if err != nil {
 		return nil, err
@@ -273,7 +273,7 @@ func (g *Generator) resolveMetadataSpill(ctx context.Context) (*Metadata, error)
 	}
 
 	// Phase 3: extensions, streamed to the column.
-	start = time.Now()
+	start = clock.Now()
 	if err := g.assignExtensionsSpill(ctx, rng.Fork("extensions"), sp); err != nil {
 		return nil, err
 	}
@@ -283,7 +283,7 @@ func (g *Generator) resolveMetadataSpill(ctx context.Context) (*Metadata, error)
 	}
 
 	// Phase 4: placement, streamed (per-depth pair files + in-place patch).
-	start = time.Now()
+	start = clock.Now()
 	if err := g.placeFilesSpill(ctx, tree, rng, sp); err != nil {
 		return nil, err
 	}

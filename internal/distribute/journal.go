@@ -359,8 +359,8 @@ func validateShardStreamKey(v *ShardView) error {
 	}
 	want := stats.DeriveSeed(v.Plan.Seed, fsimage.MaterializeStreamLabel)
 	if got := key.Apply(v.Plan.Seed); got != want {
-		return fmt.Errorf("distribute: shard %d stream key %q derives seed %d; this build's content stream derives %d — plan is from an incompatible version",
-			v.Shard, sp.StreamKey, got, want)
+		return fmt.Errorf("distribute: shard %d stream key %q derives seed %d; this build's content stream derives %d — plan is from an incompatible version (%w)",
+			v.Shard, sp.StreamKey, got, want, fsimage.ErrPlanVersion)
 	}
 	return nil
 }
@@ -371,16 +371,13 @@ func validateShardStreamKey(v *ShardView) error {
 // byte-for-byte the one ExecuteShardView would produce. It is the daemon's
 // inline-fallback executor — with zero live workers a run still converges
 // on the canonical digest, it just proves content instead of writing it.
-// ctx, when non-nil, cancels between files.
+// ctx cancels between files.
 func DigestShardView(ctx context.Context, v *ShardView, reg *content.Registry) (*Manifest, error) {
 	if err := validateShardStreamKey(v); err != nil {
 		return nil, err
 	}
 	if reg == nil {
 		reg = content.NewRegistry(content.Kind(v.Plan.ContentKind))
-	}
-	if ctx == nil {
-		ctx = context.Background()
 	}
 	digests, written, err := hashShardFiles(ctx, v, reg)
 	if err != nil {

@@ -3,8 +3,8 @@ package distribute
 import (
 	"fmt"
 	"math"
-	"time"
 
+	"impressions/internal/clock"
 	"impressions/internal/fsimage"
 )
 
@@ -120,23 +120,23 @@ func verifyShardManifest(p *OpenPlan, fingerprint string, s int, m *Manifest) er
 	}
 	sp := p.Plan.Shards[s]
 	if m.Dirs != sp.Dirs || m.Files != sp.Files || m.Bytes != sp.Bytes {
-		return fmt.Errorf("distribute: shard %d wrote %d dirs, %d files, %d bytes; plan expects %d, %d, %d",
-			s, m.Dirs, m.Files, m.Bytes, sp.Dirs, sp.Files, sp.Bytes)
+		return fmt.Errorf("distribute: shard %d wrote %d dirs, %d files, %d bytes; plan expects %d, %d, %d (%w)",
+			s, m.Dirs, m.Files, m.Bytes, sp.Dirs, sp.Files, sp.Bytes, fsimage.ErrManifestIntegrity)
 	}
 	expect := p.FilesByShard[s]
 	if len(m.FileDigests) != len(expect) {
-		return fmt.Errorf("distribute: shard %d manifest lists %d files, plan assigns %d", s, len(m.FileDigests), len(expect))
+		return fmt.Errorf("distribute: shard %d manifest lists %d files, plan assigns %d (%w)", s, len(m.FileDigests), len(expect), fsimage.ErrManifestIntegrity)
 	}
 	for i, fd := range m.FileDigests {
 		id := expect[i]
 		if fd.ID != id {
-			return fmt.Errorf("distribute: shard %d manifest entry %d is file %d, plan assigns file %d", s, i, fd.ID, id)
+			return fmt.Errorf("distribute: shard %d manifest entry %d is file %d, plan assigns file %d (%w)", s, i, fd.ID, id, fsimage.ErrManifestIntegrity)
 		}
 		if fd.Size != p.Image.Files[id].Size {
-			return fmt.Errorf("distribute: shard %d reports %d bytes for file %d, plan says %d", s, fd.Size, id, p.Image.Files[id].Size)
+			return fmt.Errorf("distribute: shard %d reports %d bytes for file %d, plan says %d (%w)", s, fd.Size, id, p.Image.Files[id].Size, fsimage.ErrManifestIntegrity)
 		}
 		if m.ContentHashed && fd.SHA256 == "" {
-			return fmt.Errorf("distribute: shard %d manifest is missing the content hash of file %d", s, id)
+			return fmt.Errorf("distribute: shard %d manifest is missing the content hash of file %d (%w)", s, id, fsimage.ErrManifestIntegrity)
 		}
 	}
 	return nil
@@ -151,7 +151,7 @@ func VerifyManifest(p *OpenPlan, m *Manifest) error {
 		return fmt.Errorf("distribute: nil manifest")
 	}
 	if m.Shard < 0 || m.Shard >= len(p.Plan.Shards) {
-		return fmt.Errorf("distribute: manifest for unknown shard %d (plan has %d shards)", m.Shard, len(p.Plan.Shards))
+		return fmt.Errorf("distribute: manifest for unknown shard %d (plan has %d shards) (%w)", m.Shard, len(p.Plan.Shards), fsimage.ErrManifestIntegrity)
 	}
 	return verifyShardManifest(p, p.Plan.Fingerprint(), m.Shard, m)
 }
@@ -174,10 +174,10 @@ func AuditManifests(p *OpenPlan, manifests []*Manifest) (*Audit, error) {
 			return nil, fmt.Errorf("distribute: nil manifest")
 		}
 		if m.Shard < 0 || m.Shard >= want {
-			return nil, fmt.Errorf("distribute: manifest for unknown shard %d (plan has %d shards)", m.Shard, want)
+			return nil, fmt.Errorf("distribute: manifest for unknown shard %d (plan has %d shards) (%w)", m.Shard, want, fsimage.ErrManifestIntegrity)
 		}
 		if audit.Statuses[m.Shard].State != ShardMissing {
-			return nil, fmt.Errorf("distribute: duplicate manifest for shard %d", m.Shard)
+			return nil, fmt.Errorf("distribute: duplicate manifest for shard %d (%w)", m.Shard, fsimage.ErrInvalidSpec)
 		}
 		if err := verifyShardManifest(p, fingerprint, m.Shard, m); err != nil {
 			audit.Statuses[m.Shard] = ShardStatus{Shard: m.Shard, State: ShardInvalid, Err: err}
@@ -267,7 +267,7 @@ func MergeAudited(p *OpenPlan, audit *Audit) (*MergeResult, error) {
 		}
 	}
 	if totalBytes != p.Plan.Bytes {
-		return nil, fmt.Errorf("distribute: merged bytes %d do not match plan total %d", totalBytes, p.Plan.Bytes)
+		return nil, fmt.Errorf("distribute: merged bytes %d do not match plan total %d (%w)", totalBytes, p.Plan.Bytes, fsimage.ErrManifestIntegrity)
 	}
 
 	res := &MergeResult{Image: p.Image, Bytes: totalBytes}
@@ -281,7 +281,7 @@ func MergeAudited(p *OpenPlan, audit *Audit) (*MergeResult, error) {
 	spec := p.Image.Spec
 	res.Report = fsimage.Report{
 		Spec:                spec,
-		GeneratedAt:         time.Now(),
+		GeneratedAt:         clock.Now(),
 		ActualFiles:         p.Image.FileCount(),
 		ActualDirs:          p.Image.DirCount(),
 		ActualBytes:         totalBytes,

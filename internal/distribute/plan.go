@@ -234,8 +234,8 @@ func (p *Plan) Encode(w io.Writer) error {
 	// Guard against the image having been mutated after BuildPlan sealed
 	// the plan: the streamed chunks must chain to the recorded hash.
 	if chain != p.ImageSHA256 || chunks != p.Chunks {
-		return fmt.Errorf("distribute: plan metadata changed since it was sealed (chain %s over %d chunks, plan says %s over %d)",
-			chain, chunks, p.ImageSHA256, p.Chunks)
+		return fmt.Errorf("distribute: plan metadata changed since it was sealed (chain %s over %d chunks, plan says %s over %d) (%w)",
+			chain, chunks, p.ImageSHA256, p.Chunks, fsimage.ErrManifestIntegrity)
 	}
 	return nil
 }
@@ -358,7 +358,7 @@ func decodePlanStream(r io.Reader, open func(*Plan) (fsimage.RecordSink, error))
 		return nil, fmt.Errorf("distribute: decoding plan trailer: %w", err)
 	}
 	if key, ok := tok.(string); !ok || key != "trailer" {
-		return nil, fmt.Errorf("distribute: plan chunks are not followed by a sealing trailer (got %v) — truncated?", tok)
+		return nil, fmt.Errorf("distribute: plan chunks are not followed by a sealing trailer (got %v) — truncated? (%w)", tok, fsimage.ErrManifestIntegrity)
 	}
 	var tr planTrailer
 	if err := dec.Decode(&tr); err != nil {
@@ -470,8 +470,8 @@ func (p *Plan) Open() (*OpenPlan, error) {
 		return nil, fmt.Errorf("distribute: plan holds no image metadata (not produced by BuildPlan or DecodePlan)")
 	}
 	if img.FileCount() != p.Files || img.DirCount() != p.Dirs || img.TotalBytes() != p.Bytes {
-		return nil, fmt.Errorf("distribute: plan totals (%d files, %d dirs, %d bytes) do not match embedded image (%d, %d, %d)",
-			p.Files, p.Dirs, p.Bytes, img.FileCount(), img.DirCount(), img.TotalBytes())
+		return nil, fmt.Errorf("distribute: plan totals (%d files, %d dirs, %d bytes) do not match embedded image (%d, %d, %d) (%w)",
+			p.Files, p.Dirs, p.Bytes, img.FileCount(), img.DirCount(), img.TotalBytes(), fsimage.ErrManifestIntegrity)
 	}
 	roots, err := p.validateShardTable()
 	if err != nil {
@@ -490,8 +490,8 @@ func (p *Plan) Open() (*OpenPlan, error) {
 	}
 	for i, s := range p.Shards {
 		if len(part.Shards[i]) != s.Dirs || acc.Files(i) != s.Files || acc.Bytes(i) != s.Bytes {
-			return nil, fmt.Errorf("distribute: shard %d expectations (%d dirs, %d files, %d bytes) do not match the embedded image (%d, %d, %d)",
-				i, s.Dirs, s.Files, s.Bytes, len(part.Shards[i]), acc.Files(i), acc.Bytes(i))
+			return nil, fmt.Errorf("distribute: shard %d expectations (%d dirs, %d files, %d bytes) do not match the embedded image (%d, %d, %d) (%w)",
+				i, s.Dirs, s.Files, s.Bytes, len(part.Shards[i]), acc.Files(i), acc.Bytes(i), fsimage.ErrManifestIntegrity)
 		}
 	}
 	return &OpenPlan{Plan: p, Image: img, Part: part, FilesByShard: filesByShard}, nil

@@ -74,7 +74,7 @@ func (pr *shardPruner) ensurePartition() error {
 		return nil
 	}
 	if got := pr.ts.DirCount(); got != pr.hdr.Dirs {
-		return fmt.Errorf("distribute: plan stream carried %d directories, header promises %d", got, pr.hdr.Dirs)
+		return fmt.Errorf("distribute: plan stream carried %d directories, header promises %d (%w)", got, pr.hdr.Dirs, fsimage.ErrManifestIntegrity)
 	}
 	roots, err := pr.hdr.validateShardTable()
 	if err != nil {
@@ -109,13 +109,13 @@ func (pr *shardPruner) finish() (*ShardView, error) {
 		return nil, err
 	}
 	if pr.ts.FileCount() != pr.hdr.Files || pr.ts.TotalBytes() != pr.hdr.Bytes {
-		return nil, fmt.Errorf("distribute: plan stream carried %d files, %d bytes; header promises %d, %d",
-			pr.ts.FileCount(), pr.ts.TotalBytes(), pr.hdr.Files, pr.hdr.Bytes)
+		return nil, fmt.Errorf("distribute: plan stream carried %d files, %d bytes; header promises %d, %d (%w)",
+			pr.ts.FileCount(), pr.ts.TotalBytes(), pr.hdr.Files, pr.hdr.Bytes, fsimage.ErrManifestIntegrity)
 	}
 	for i, s := range pr.hdr.Shards {
 		if len(pr.part.Shards[i]) != s.Dirs || pr.acc.Files(i) != s.Files || pr.acc.Bytes(i) != s.Bytes {
-			return nil, fmt.Errorf("distribute: shard %d expectations (%d dirs, %d files, %d bytes) do not match the embedded image (%d, %d, %d)",
-				i, s.Dirs, s.Files, s.Bytes, len(pr.part.Shards[i]), pr.acc.Files(i), pr.acc.Bytes(i))
+			return nil, fmt.Errorf("distribute: shard %d expectations (%d dirs, %d files, %d bytes) do not match the embedded image (%d, %d, %d) (%w)",
+				i, s.Dirs, s.Files, s.Bytes, len(pr.part.Shards[i]), pr.acc.Files(i), pr.acc.Bytes(i), fsimage.ErrManifestIntegrity)
 		}
 	}
 	return &ShardView{
@@ -164,7 +164,7 @@ func LoadPlanShard(path string, shard int) (*ShardView, error) {
 // in-process execution (distrun, tests, the library API).
 func (p *OpenPlan) ShardView(shard int) (*ShardView, error) {
 	if shard < 0 || shard >= len(p.Plan.Shards) {
-		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards)", shard, len(p.Plan.Shards))
+		return nil, fmt.Errorf("distribute: shard %d out of range (plan has %d shards) (%w)", shard, len(p.Plan.Shards), fsimage.ErrInvalidSpec)
 	}
 	idx := p.FilesByShard[shard]
 	files := make([]fsimage.File, len(idx))

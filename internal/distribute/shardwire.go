@@ -348,7 +348,7 @@ func decodeShardDoc(r io.Reader, onFile func(fsimage.File) error, onTree func(*P
 		return nil, fmt.Errorf("distribute: decoding shard trailer: %w", err)
 	}
 	if key, ok := tok.(string); !ok || key != "trailer" {
-		return nil, fmt.Errorf("distribute: shard records are not followed by a sealing trailer (got %v) — truncated?", tok)
+		return nil, fmt.Errorf("distribute: shard records are not followed by a sealing trailer (got %v) — truncated? (%w)", tok, fsimage.ErrManifestIntegrity)
 	}
 	var tr shardWireTrailer
 	if err := dec.Decode(&tr); err != nil {

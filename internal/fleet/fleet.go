@@ -21,11 +21,11 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	mrand "math/rand"
 	"sort"
 	"sync"
 	"time"
 
+	"impressions/internal/backoff"
 	"impressions/internal/distribute"
 )
 
@@ -89,6 +89,10 @@ type Options struct {
 	WorkerCommand func(fingerprint string, shard int) string
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
+	// Jitter draws the backoff jitter (uniform in [0, n)); the default is a
+	// private seeded source (backoff.NewJitter), never the global math/rand.
+	// Tests inject a deterministic one to pin re-queue timing.
+	Jitter backoff.Jitter
 	// Logf, when non-nil, receives scheduler event lines.
 	Logf func(format string, a ...any)
 }
@@ -125,6 +129,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
+	}
+	if o.Jitter == nil {
+		o.Jitter = backoff.NewJitter()
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -490,7 +497,7 @@ func (s *Scheduler) backoff(attempt int) time.Duration {
 	// Full-bottom-half jitter decorrelates a fleet of retrying shards
 	// without ever retrying sooner than half the nominal delay.
 	half := d / 2
-	return half + time.Duration(mrand.Int63n(int64(half)+1))
+	return half + time.Duration(s.opts.Jitter(int64(half)+1))
 }
 
 // SetContext sets the lifecycle context inline executions inherit (Loop

@@ -258,8 +258,17 @@ func (s *ImageStats) ExtensionFractions(names []string) []float64 {
 	for i, n := range names {
 		index[strings.ToLower(n)] = i
 	}
+	// Iterate extensions in sorted order: out[i] accumulates float mass, and
+	// float addition is not associative, so map order would leak into the
+	// low bits of the reported fractions.
+	exts := make([]string, 0, len(s.extFiles))
+	for ext := range s.extFiles {
+		exts = append(exts, ext)
+	}
+	sort.Strings(exts)
 	counted := 0
-	for ext, files := range s.extFiles {
+	for _, ext := range exts {
+		files := s.extFiles[ext]
 		if i, ok := index[ext]; ok {
 			out[i] += float64(files)
 			counted += files

@@ -136,8 +136,8 @@ func (img *Image) Validate() error {
 		}
 		wantDepth := img.Tree.Dirs[f.DirID].Depth + 1
 		if f.Depth != wantDepth {
-			return fmt.Errorf("fsimage: file %q depth %d does not match directory depth %d",
-				f.Name, f.Depth, wantDepth)
+			return fmt.Errorf("fsimage: file %q depth %d does not match directory depth %d (%w)",
+				f.Name, f.Depth, wantDepth, ErrInvalidSpec)
 		}
 		if f.Name == "" || strings.ContainsAny(f.Name, "/\x00") {
 			return fmt.Errorf("fsimage: file %d has invalid name %q", f.ID, f.Name)

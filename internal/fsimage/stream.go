@@ -185,7 +185,7 @@ func (s *TreeSink) AddFile(f File) error {
 		return fmt.Errorf("fsimage: file %q has negative size %d", f.Name, f.Size)
 	}
 	if wantDepth := s.tree.Dirs[f.DirID].Depth + 1; f.Depth != wantDepth {
-		return fmt.Errorf("fsimage: file %q depth %d does not match directory depth %d", f.Name, f.Depth, wantDepth)
+		return fmt.Errorf("fsimage: file %q depth %d does not match directory depth %d (%w)", f.Name, f.Depth, wantDepth, ErrManifestIntegrity)
 	}
 	if f.Name == "" || strings.ContainsAny(f.Name, "/\x00") {
 		return fmt.Errorf("fsimage: file %d has invalid name %q", f.ID, f.Name)

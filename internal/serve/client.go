@@ -7,10 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	mrand "math/rand"
 	"net/http"
+	"sync"
 	"time"
 
+	"impressions/internal/backoff"
 	"impressions/internal/distribute"
 	"impressions/internal/fleet"
 	"impressions/internal/fsimage"
@@ -38,6 +39,21 @@ type Client struct {
 	// RetryMax (defaults 100ms / 2s).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// Jitter draws the retry jitter (uniform in [0, n)); the default is a
+	// private seeded source (backoff.NewJitter), never the global math/rand.
+	// Tests inject a deterministic one to pin retry timing.
+	Jitter backoff.Jitter
+
+	jitterOnce sync.Once
+	jitterFn   backoff.Jitter
+}
+
+func (c *Client) jitter(n int64) int64 {
+	if c.Jitter != nil {
+		return c.Jitter(n)
+	}
+	c.jitterOnce.Do(func() { c.jitterFn = backoff.NewJitter() })
+	return c.jitterFn(n)
 }
 
 func (c *Client) http() *http.Client {
@@ -208,7 +224,7 @@ func (c *Client) doIdempotent(ctx context.Context, method, path string, body any
 		}
 		// Jitter in [delay/2, delay] decorrelates a fleet of retrying
 		// clients hammering a recovering daemon.
-		delay = delay/2 + time.Duration(mrand.Int63n(int64(delay/2)+1))
+		delay = delay/2 + time.Duration(c.jitter(int64(delay/2)+1))
 		select {
 		case <-ctx.Done():
 			return nil, lastErr
