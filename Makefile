@@ -3,11 +3,11 @@
 GO ?= go
 
 # Micro-benchmarks tracked in the BENCH_<date>.json perf trajectory.
-MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|FilePlacement|ConstraintResolution|ImageGeneration|Materialize|Content|FindWorkload|SearchIndexing|LayoutScore|StreamingPlanBuild|RetainedPlanBuild|PartitionedPlanBuild)
+MICRO_BENCH := ^Benchmark(HybridFileSizeSample|NamespaceGeneration|TreePath|FilePlacement|ConstraintResolution|ImageGeneration|Materialize|Content|FindWorkload|SearchIndexing|LayoutScore|StreamingPlanBuild|RetainedPlanBuild|PartitionedPlanBuild|TarSink|SquashfsSink)
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check mem-check serve-check fleet-fault-check
+.PHONY: build test race bench bench-smoke bench-json lint fmt ci dist-check dist-fault-check mem-check serve-check fleet-fault-check image-sink-check
 
 build:
 	$(GO) build ./...
@@ -137,6 +137,28 @@ fleet-fault-check:
 	grep -q 'marking dead' daemon.log; \
 	cp FLEET_$(BENCH_DATE).json $(CURDIR)/; \
 	echo "fleet-fault-check: OK (killed worker re-queued; digest matches single-process run)"
+
+# Local mirror of the CI image-sink job: the direct tar sink must agree
+# with the VFS path (same canonical digest), the archive must be readable
+# by system tar, and a plan executed by 3 tar-segment workers and stitched
+# must be byte-identical to the single-process tar of the same spec.
+image-sink-check:
+	@rm -rf /tmp/impressions-image-check && mkdir -p /tmp/impressions-image-check
+	$(GO) build -o /tmp/impressions-image-check/impressions ./cmd/impressions
+	@set -e; cd /tmp/impressions-image-check; \
+	./impressions -files 3000 -dirs 600 -size-mu 8 -size-sigma 1.2 -seed 20090225 -format tar -out single.tar -digest | grep '^image digest:' > tar.digest; \
+	./impressions -files 3000 -dirs 600 -size-mu 8 -size-sigma 1.2 -seed 20090225 -digest -out vfs | grep '^image digest:' > vfs.digest; \
+	cmp tar.digest vfs.digest; \
+	tar -tf single.tar > /dev/null; \
+	./impressions plan -files 3000 -dirs 600 -size-mu 8 -size-sigma 1.2 -seed 20090225 -shards 3 -plan plan.json; \
+	pids=""; for s in 0 1 2; do ./impressions worker -plan plan.json -shard $$s -format tar -out seg$$s.tar -manifest manifest-$$s.json & pids="$$pids $$!"; done; \
+	for p in $$pids; do wait "$$p"; done; \
+	./impressions stitch -plan plan.json -out stitched.tar seg0.tar seg1.tar seg2.tar; \
+	cmp single.tar stitched.tar; \
+	./impressions merge -plan plan.json -print-digest manifest-*.json > merged.digest; \
+	cmp tar.digest merged.digest; \
+	./impressions -files 3000 -dirs 600 -size-mu 8 -size-sigma 1.2 -seed 20090225 -format squashfs -out image.squashfs; \
+	echo "image-sink-check: OK (tar digest matches VFS; 3-worker stitch byte-identical)"
 
 # Local mirror of the CI memory-bound job: a 1M-file streamed plan build
 # and a 10M-file partitioned (spilled) build must hold peak live heap under

@@ -16,14 +16,24 @@
 // mid-shard resume, and `fleetrun` submits a whole run and polls it to the
 // canonical digest.
 //
+// Direct image sinks skip the VFS entirely: `-format tar` or `-format
+// squashfs` serializes the image straight into an archive/filesystem file
+// with sequential writes (no per-file syscalls, no mkfs, no root), `worker
+// -format tar` emits one shard as a tar segment, and `stitch` merges the
+// segments into the byte-identical monolithic archive.
+//
 // Examples:
 //
 //	impressions -size 4.55GB -out /tmp/image
 //	impressions -files 20000 -dirs 4000 -content text-model -out /tmp/image
 //	impressions -size 1GB -layout 0.95 -seed 42 -report report.json -out /tmp/image
+//	impressions -files 100000 -seed 42 -format tar -out image.tar -digest
+//	impressions -files 100000 -seed 42 -format squashfs -out image.squashfs
 //	impressions -print-defaults
 //	impressions plan -files 20000 -seed 42 -shards 8 -plan plan.json
 //	impressions worker -plan plan.json -shard 3 -out /mnt/img -manifest shard3.json
+//	impressions worker -plan plan.json -shard 3 -format tar -out seg3.tar -manifest shard3.json
+//	impressions stitch -plan plan.json -out image.tar seg0.tar seg1.tar seg2.tar
 //	impressions merge -plan plan.json -print-digest shard*.json
 //	impressions distrun -files 20000 -seed 42 -shards 4 -out /tmp/image
 //	impressions worker -join http://127.0.0.1:7077 -out /mnt/img -work /var/tmp/journals
@@ -58,6 +68,7 @@ import (
 	"impressions/internal/distribute"
 	"impressions/internal/fleet"
 	"impressions/internal/fsimage"
+	"impressions/internal/imgfmt"
 	"impressions/internal/namespace"
 	"impressions/internal/serve"
 	"impressions/internal/stats"
@@ -122,12 +133,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return runWorker(rest, stdout, stderr)
 		case "merge":
 			return runMerge(rest, stdout, stderr)
+		case "stitch":
+			return runStitch(rest, stdout, stderr)
 		case "distrun":
 			return runDistrun(rest, stdout, stderr)
 		case "fleetrun":
 			return runFleetrun(rest, stdout, stderr)
 		default:
-			return usagef("unknown subcommand %q (want generate, plan, worker, merge, distrun, or fleetrun)", sub)
+			return usagef("unknown subcommand %q (want generate, plan, worker, merge, stitch, distrun, or fleetrun)", sub)
 		}
 	}
 	return runGenerate(args, stdout, stderr)
@@ -220,7 +233,8 @@ func runGenerate(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	gen := newGenFlags(fs)
 	var (
-		outFlag       = fs.String("out", "", "directory to materialize the image into (omit for a dry run)")
+		outFlag       = fs.String("out", "", "directory (-format dir) or image file (-format tar/squashfs) to materialize into (omit for a dry run)")
+		formatFlag    = fs.String("format", "dir", "materialization sink: dir (VFS tree), tar (streamed archive), squashfs (mountable image)")
 		metadataOnly  = fs.Bool("metadata-only", false, "create files with correct sizes but no content (fast)")
 		reportFlag    = fs.String("report", "", "write the JSON reproducibility report to this file")
 		printDefaults = fs.Bool("print-defaults", false, "print the Table 2 parameter defaults and exit")
@@ -248,7 +262,17 @@ func runGenerate(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	// When both the digest and a materialized tree are wanted, collect the
+	format := strings.ToLower(*formatFlag)
+	switch format {
+	case "", "dir", "tar", "squashfs":
+	default:
+		return usagef("unknown -format %q (want dir, tar, or squashfs)", *formatFlag)
+	}
+	if format != "dir" && format != "" && *outFlag == "" {
+		return usagef("-format %s requires -out <file>", format)
+	}
+
+	// When both the digest and a materialized image are wanted, collect the
 	// per-file hashes during the single write pass instead of generating
 	// every file's content twice.
 	var digests []string
@@ -256,7 +280,9 @@ func runGenerate(args []string, stdout, stderr io.Writer) error {
 		digests = make([]string, res.Image.FileCount())
 	}
 
-	if *outFlag != "" {
+	switch {
+	case *outFlag == "":
+	case format == "" || format == "dir":
 		written, err := res.Image.Materialize(*outFlag, fsimage.MaterializeOptions{
 			Registry:     content.NewRegistry(content.Kind(*gen.content)),
 			Seed:         res.Image.Spec.Seed,
@@ -268,6 +294,12 @@ func runGenerate(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "materialized %d bytes under %s\n", written, *outFlag)
+	default:
+		written, err := writeImageArchive(format, *outFlag, res.Image, content.Kind(*gen.content), *metadataOnly, digests)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s image %s (%d content bytes, sequential)\n", format, *outFlag, written)
 	}
 
 	if *digestFlag {
@@ -299,6 +331,106 @@ func runGenerate(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote reproducibility report to %s\n", *reportFlag)
 	}
+	return nil
+}
+
+// writeImageArchive serializes the image straight into an archive or
+// filesystem image file with sequential writes — the direct image sinks:
+// no VFS tree, no per-file syscalls, no mkfs, no root. Returns the content
+// bytes written.
+func writeImageArchive(format, out string, img *fsimage.Image, kind content.Kind, metadataOnly bool, digests []string) (int64, error) {
+	opts := imgfmt.Options{
+		Registry:     content.NewRegistry(kind),
+		Seed:         img.Spec.Seed,
+		MetadataOnly: metadataOnly,
+	}
+	if digests != nil {
+		opts.OnDigest = func(f fsimage.File, sum string) { digests[f.ID] = sum }
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return 0, err
+	}
+	var written int64
+	switch format {
+	case "tar":
+		sink := imgfmt.NewTarSink(f, opts)
+		if err = img.StreamRecords(sink); err == nil {
+			err = sink.Close()
+		}
+		written = sink.Written()
+	case "squashfs":
+		var sink *imgfmt.SquashfsSink
+		if sink, err = imgfmt.NewSquashfsSink(f, opts); err == nil {
+			if err = img.StreamRecords(sink); err == nil {
+				err = sink.Close()
+			}
+		}
+		if sink != nil {
+			written = sink.Written()
+		}
+	}
+	if err != nil {
+		f.Close()
+		return written, err
+	}
+	return written, f.Close()
+}
+
+// runStitch merges per-shard tar segments (written by `worker -format
+// tar`, named in shard order) into the monolithic archive — byte-identical
+// to a single-process `-format tar` run of the same plan. Content bytes
+// are copied, never regenerated; every entry is verified against the plan
+// stream.
+func runStitch(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impressions stitch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		planFlag = fs.String("plan", "", "plan file the segments were built from (required)")
+		outFlag  = fs.String("out", "", "file to write the stitched tar archive to (required)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: impressions stitch -plan plan.json -out image.tar seg0.tar seg1.tar ...")
+		fs.PrintDefaults()
+	}
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *planFlag == "" || *outFlag == "" {
+		return usagef("stitch: -plan and -out are required")
+	}
+	segPaths := fs.Args()
+	if len(segPaths) == 0 {
+		return usagef("stitch: segment files (one per shard, in shard order) are required")
+	}
+	planF, err := os.Open(*planFlag)
+	if err != nil {
+		return err
+	}
+	defer planF.Close()
+	segments := make([]io.Reader, len(segPaths))
+	for i, p := range segPaths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		segments[i] = f
+	}
+	out, err := os.Create(*outFlag)
+	if err != nil {
+		return err
+	}
+	p, err := distribute.StitchPlanTar(planF, segments, out, imgfmt.Options{})
+	if err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "stitch: %d segments -> %s (%d dirs, %d files, %d content bytes)\n",
+		len(segPaths), *outFlag, p.Dirs, p.Files, p.Bytes)
 	return nil
 }
 
@@ -478,7 +610,8 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 		fromFlag     = fs.String("from", "", "URL of a shard document to fetch and execute (the daemon's /v1/plans/{fp}/shards/{i})")
 		joinFlag     = fs.String("join", "", "base URL of an impressionsd to join as a fleet worker (e.g. http://127.0.0.1:7077)")
 		shardFlag    = fs.Int("shard", -1, "shard index to execute (required with -plan)")
-		outFlag      = fs.String("out", "", "directory to materialize shards into (required)")
+		formatFlag   = fs.String("format", "dir", "shard output: dir (materialized tree) or tar (segment file for `stitch`)")
+		outFlag      = fs.String("out", "", "directory (-format dir) or segment file (-format tar) to write the shard to (required)")
 		manifestFlag = fs.String("manifest", "", "file to write the shard manifest to (required with -plan/-from)")
 		metadataOnly = fs.Bool("metadata-only", false, "create files with correct sizes but no content")
 		jobs         = fs.Int("j", 0, "concurrent file writers within this worker (0 = all CPUs, 1 = serial); output is byte-identical at any level")
@@ -490,12 +623,19 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	format := strings.ToLower(*formatFlag)
+	if format != "dir" && format != "" && format != "tar" {
+		return usagef("worker: unknown -format %q (want dir or tar)", *formatFlag)
+	}
 	if *joinFlag != "" {
 		if *planFlag != "" || *fromFlag != "" || *fragFlag != "" {
 			return usagef("worker: -join is exclusive with -plan/-from/-fragment")
 		}
 		if *outFlag == "" {
 			return usagef("worker: -join requires -out")
+		}
+		if format == "tar" {
+			return usagef("worker: -format tar is not available in fleet mode (leases materialize trees)")
 		}
 		return runFleetWorker(*joinFlag, *outFlag, *workDir, *batchFiles, *idleExit, *failAfter, stdout)
 	}
@@ -533,7 +673,19 @@ func runWorker(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	m, err := distribute.ExecuteShardView(view, *outFlag, distribute.WorkerOptions{MetadataOnly: *metadataOnly, Parallelism: *jobs})
+	var m *distribute.Manifest
+	if format == "tar" {
+		var seg *os.File
+		if seg, err = os.Create(*outFlag); err != nil {
+			return err
+		}
+		m, err = distribute.ExecuteShardViewTar(view, seg, distribute.WorkerOptions{MetadataOnly: *metadataOnly})
+		if cerr := seg.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		m, err = distribute.ExecuteShardView(view, *outFlag, distribute.WorkerOptions{MetadataOnly: *metadataOnly, Parallelism: *jobs})
+	}
 	if err != nil {
 		return err
 	}

@@ -106,6 +106,7 @@ var deterministicPkgs = []string{
 	"internal/workload",
 	"internal/fsimage",
 	"internal/distribute",
+	"internal/imgfmt",
 }
 
 // clockPkgSuffix is the sanctioned wall-clock boundary; detclock exempts it

@@ -9,7 +9,6 @@ import (
 	"hash"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -214,11 +213,17 @@ func MaterializeShardRecords(root string, tree *namespace.Tree, dirs []int, file
 	if err := os.MkdirAll(root, opts.DirPerm); err != nil {
 		return 0, fmt.Errorf("fsimage: creating root %q: %w", root, err)
 	}
+	// One path buffer serves every entry in the shard: the per-file
+	// filepath.Join/FromSlash garbage used to dominate the hot loop's
+	// allocations (the final string for the open syscall is the only
+	// per-entry allocation left).
+	var pathBuf []byte
 	for _, id := range dirs {
 		if id == 0 {
 			continue
 		}
-		p := filepath.Join(root, filepath.FromSlash(tree.Path(id)))
+		pathBuf = appendEntryPath(pathBuf, root, tree, id, "")
+		p := string(pathBuf)
 		if err := os.MkdirAll(p, opts.DirPerm); err != nil {
 			return 0, fmt.Errorf("fsimage: creating directory %q: %w", p, err)
 		}
@@ -234,7 +239,8 @@ func MaterializeShardRecords(root string, tree *namespace.Tree, dirs []int, file
 		if err := ctx.Err(); err != nil {
 			return written, err
 		}
-		p := filepath.Join(root, filepath.FromSlash(filePathIn(tree, f)))
+		pathBuf = appendEntryPath(pathBuf, root, tree, f.DirID, f.Name)
+		p := string(pathBuf)
 		// Each file owns a stream keyed by its ID: content depends only on
 		// the seed and the file, never on write order or worker identity.
 		rng := baseRNG.SplitN(uint64(f.ID))
@@ -263,6 +269,34 @@ func filePathIn(tree *namespace.Tree, f File) string {
 	return dir + "/" + f.Name
 }
 
+// appendEntryPath resets dst to the on-disk path of one image entry — root,
+// the directory's tree path, and an optional file name, joined with the OS
+// separator — and returns the extended slice. It is the reusable-buffer
+// counterpart of filepath.Join(root, filepath.FromSlash(...)) for the
+// materialize hot loops.
+func appendEntryPath(dst []byte, root string, tree *namespace.Tree, dirID int, name string) []byte {
+	dst = append(dst[:0], root...)
+	mark := len(dst)
+	if dirID > 0 {
+		dst = append(dst, os.PathSeparator)
+		mark = len(dst)
+		dst = tree.AppendPath(dst, dirID)
+	}
+	if name != "" {
+		dst = append(dst, os.PathSeparator)
+		dst = append(dst, name...)
+	}
+	if os.PathSeparator != '/' {
+		// Tree paths are slash-separated; convert only the appended region.
+		for i := mark; i < len(dst); i++ {
+			if dst[i] == '/' {
+				dst[i] = os.PathSeparator
+			}
+		}
+	}
+	return dst
+}
+
 // MaterializeSink is the streaming materializer: a RecordSink that writes
 // each record to disk as it arrives — directories as they stream by, each
 // file's content generated straight into its file — holding only the
@@ -281,6 +315,7 @@ type MaterializeSink struct {
 	ts      TreeSink
 	baseRNG *stats.RNG
 	sum     hash.Hash
+	pathBuf []byte
 	written int64
 }
 
@@ -308,19 +343,27 @@ func (s *MaterializeSink) AddDir(d DirRecord) error {
 	if d.ID == 0 {
 		return nil
 	}
-	p := filepath.Join(s.root, filepath.FromSlash(s.ts.Tree().Path(d.ID)))
+	s.pathBuf = appendEntryPath(s.pathBuf, s.root, s.ts.Tree(), d.ID, "")
+	p := string(s.pathBuf)
 	if err := os.MkdirAll(p, s.opts.DirPerm); err != nil {
 		return fmt.Errorf("fsimage: creating directory %q: %w", p, err)
 	}
 	return nil
 }
 
-// AddFile writes the next file.
+// AddFile writes the next file. It polls the options' context between
+// files, like every other per-file loop: a cancelled streaming
+// materialization stops at the next record instead of draining the whole
+// stream onto disk.
 func (s *MaterializeSink) AddFile(f File) error {
+	if err := s.opts.ctx().Err(); err != nil {
+		return err
+	}
 	if err := s.ts.AddFile(f); err != nil {
 		return err
 	}
-	p := filepath.Join(s.root, filepath.FromSlash(filePathIn(s.ts.Tree(), f)))
+	s.pathBuf = appendEntryPath(s.pathBuf, s.root, s.ts.Tree(), f.DirID, f.Name)
+	p := string(s.pathBuf)
 	rng := s.baseRNG.SplitN(uint64(f.ID))
 	var sum hash.Hash
 	if s.OnDigest != nil && !s.opts.MetadataOnly {

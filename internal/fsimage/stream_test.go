@@ -2,8 +2,10 @@ package fsimage
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -315,5 +317,35 @@ func TestMultiSinkFansOut(t *testing.T) {
 	err := img.StreamRecords(MultiSink(failing, NewImageSink(img.Spec)))
 	if err == nil {
 		t.Error("sink error did not abort the stream")
+	}
+}
+
+// TestMaterializeSinkCancellation: a cancelled context must stop the
+// streaming per-file path too, not only the shard worker loops — AddFile
+// polls the context before every file.
+func TestMaterializeSinkCancellation(t *testing.T) {
+	img := buildTestImage(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	sink, err := NewMaterializeSink(t.TempDir(), MaterializeOptions{
+		Registry: content.NewRegistry(content.KindDefault),
+		Seed:     img.Spec.Seed,
+		Context:  ctx,
+	})
+	if err != nil {
+		t.Fatalf("NewMaterializeSink: %v", err)
+	}
+	written := 0
+	sink.OnDigest = func(File, string) {
+		written++
+		if written == 3 {
+			cancel()
+		}
+	}
+	err = img.StreamRecords(sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream: got %v, want context.Canceled", err)
+	}
+	if written != 3 || written >= len(img.Files) {
+		t.Fatalf("wrote %d of %d files after cancellation at 3", written, len(img.Files))
 	}
 }

@@ -1,0 +1,314 @@
+package imgfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"impressions/internal/fsimage"
+)
+
+// The reader half of the squashfs support: enough of a squashfs v4 parser
+// to walk the superblock, inode table, and directory tables of images
+// produced by SquashfsSink (uncompressed, no fragments, extended inodes)
+// and extract them to a directory. Tests use it to prove round-trip
+// equality with the VFS materializer without needing mount privileges or
+// external tools; it deliberately rejects anything the sink does not emit.
+
+type sqSuper struct {
+	inodes          uint32
+	blockSize       uint32
+	flags           uint16
+	noIDs           uint16
+	rootInode       uint64
+	bytesUsed       int64
+	idTableStart    int64
+	inodeTableStart int64
+	dirTableStart   int64
+}
+
+func readSuper(r io.ReaderAt) (*sqSuper, error) {
+	buf := make([]byte, squashfsSuperSize)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("imgfmt: reading squashfs superblock: %w", err)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != squashfsMagic {
+		return nil, fmt.Errorf("imgfmt: bad squashfs magic %#x", le.Uint32(buf[0:]))
+	}
+	if major, minor := le.Uint16(buf[28:]), le.Uint16(buf[30:]); major != 4 || minor != 0 {
+		return nil, fmt.Errorf("imgfmt: unsupported squashfs version %d.%d", major, minor)
+	}
+	s := &sqSuper{
+		inodes:          le.Uint32(buf[4:]),
+		blockSize:       le.Uint32(buf[12:]),
+		flags:           le.Uint16(buf[24:]),
+		noIDs:           le.Uint16(buf[26:]),
+		rootInode:       le.Uint64(buf[32:]),
+		bytesUsed:       int64(le.Uint64(buf[40:])),
+		idTableStart:    int64(le.Uint64(buf[48:])),
+		inodeTableStart: int64(le.Uint64(buf[64:])),
+		dirTableStart:   int64(le.Uint64(buf[72:])),
+	}
+	if s.flags&squashfsFlags != squashfsFlags {
+		return nil, fmt.Errorf("imgfmt: squashfs image is not fully uncompressed (flags %#x)", s.flags)
+	}
+	if fragments := le.Uint32(buf[16:]); fragments != 0 {
+		return nil, fmt.Errorf("imgfmt: squashfs image has %d fragments; reader supports none", fragments)
+	}
+	return s, nil
+}
+
+// metaTable is a fully loaded metadata stream: concatenated block payloads
+// plus the mapping from on-disk block offsets (the reference form) back to
+// uncompressed offsets.
+type metaTable struct {
+	data   []byte
+	blockU map[uint32]int64
+}
+
+func loadMetaTable(r io.ReaderAt, start, end int64) (*metaTable, error) {
+	t := &metaTable{blockU: make(map[uint32]int64)}
+	var hdr [2]byte
+	for off := start; off < end; {
+		if _, err := r.ReadAt(hdr[:], off); err != nil {
+			return nil, fmt.Errorf("imgfmt: reading metadata block header at %d: %w", off, err)
+		}
+		word := binary.LittleEndian.Uint16(hdr[:])
+		if word&0x8000 == 0 {
+			return nil, fmt.Errorf("imgfmt: compressed metadata block at %d; reader supports uncompressed only", off)
+		}
+		size := int64(word & 0x7FFF)
+		if size == 0 || off+2+size > end {
+			return nil, fmt.Errorf("imgfmt: metadata block at %d overruns table end %d", off, end)
+		}
+		payload := make([]byte, size)
+		if _, err := r.ReadAt(payload, off+2); err != nil {
+			return nil, fmt.Errorf("imgfmt: reading metadata block at %d: %w", off, err)
+		}
+		t.blockU[uint32(off-start)] = int64(len(t.data))
+		t.data = append(t.data, payload...)
+		off += 2 + size
+	}
+	return t, nil
+}
+
+// at resolves a (block, offset) metadata reference to the remaining stream.
+func (t *metaTable) at(block uint32, off uint16) ([]byte, error) {
+	u, ok := t.blockU[block]
+	if !ok {
+		return nil, fmt.Errorf("imgfmt: metadata reference to unknown block %d", block)
+	}
+	pos := u + int64(off)
+	if pos > int64(len(t.data)) {
+		return nil, fmt.Errorf("imgfmt: metadata reference %d+%d beyond stream", block, off)
+	}
+	return t.data[pos:], nil
+}
+
+type sqInode struct {
+	typ         uint16
+	mode        fs.FileMode
+	inodeNumber uint32
+
+	// directories
+	listBlock  uint32
+	listOffset uint16
+	listSize   int64 // raw file_size field (listing bytes + 3)
+
+	// regular files
+	dataStart int64
+	size      int64
+}
+
+func (t *metaTable) inodeAt(block uint32, off uint16) (*sqInode, error) {
+	b, err := t.at(block, off)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if len(b) < 2 {
+		return nil, fmt.Errorf("imgfmt: truncated inode at %d+%d: %w", block, off, fsimage.ErrManifestIntegrity)
+	}
+	ino := &sqInode{typ: le.Uint16(b[0:])}
+	switch ino.typ {
+	case squashfsTypeExtDir:
+		if len(b) < squashfsLdirSize {
+			return nil, fmt.Errorf("imgfmt: truncated directory inode at %d+%d: %w", block, off, fsimage.ErrManifestIntegrity)
+		}
+		ino.mode = fs.FileMode(le.Uint16(b[2:])) & fs.ModePerm
+		ino.inodeNumber = le.Uint32(b[12:])
+		ino.listSize = int64(le.Uint32(b[20:]))
+		ino.listBlock = le.Uint32(b[24:])
+		ino.listOffset = le.Uint16(b[34:])
+	case squashfsTypeExtReg:
+		if len(b) < squashfsLregBaseSize {
+			return nil, fmt.Errorf("imgfmt: truncated file inode at %d+%d: %w", block, off, fsimage.ErrManifestIntegrity)
+		}
+		ino.mode = fs.FileMode(le.Uint16(b[2:])) & fs.ModePerm
+		ino.inodeNumber = le.Uint32(b[12:])
+		ino.dataStart = int64(le.Uint64(b[16:]))
+		ino.size = int64(le.Uint64(b[24:]))
+		// Sanity-check the block list: uncompressed blocks covering the
+		// full size, nothing more.
+		nblocks := (ino.size + squashfsBlockSize - 1) / squashfsBlockSize
+		if len(b) < squashfsLregBaseSize+int(nblocks)*4 {
+			return nil, fmt.Errorf("imgfmt: file inode %d block list truncated: %w", ino.inodeNumber, fsimage.ErrManifestIntegrity)
+		}
+		for i := int64(0); i < nblocks; i++ {
+			word := le.Uint32(b[squashfsLregBaseSize+int(i)*4:])
+			if word&squashfsBlockUncompressed == 0 {
+				return nil, fmt.Errorf("imgfmt: file inode %d has a compressed data block", ino.inodeNumber)
+			}
+			want := ino.size - i*squashfsBlockSize
+			if want > squashfsBlockSize {
+				want = squashfsBlockSize
+			}
+			if int64(word&^uint32(squashfsBlockUncompressed)) != want {
+				return nil, fmt.Errorf("imgfmt: file inode %d block %d is %d bytes, want %d",
+					ino.inodeNumber, i, word&^uint32(squashfsBlockUncompressed), want)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("imgfmt: unsupported inode type %d at %d+%d", ino.typ, block, off)
+	}
+	return ino, nil
+}
+
+type sqReader struct {
+	r      io.ReaderAt
+	super  *sqSuper
+	inodes *metaTable
+	dirs   *metaTable
+}
+
+func openSquashfs(r io.ReaderAt) (*sqReader, error) {
+	super, err := readSuper(r)
+	if err != nil {
+		return nil, err
+	}
+	// The id table's first metadata block sits right after the directory
+	// table; its index (pointed to by id_table_start) tells us where.
+	var idx [8]byte
+	if _, err := r.ReadAt(idx[:], super.idTableStart); err != nil {
+		return nil, fmt.Errorf("imgfmt: reading squashfs id table index: %w", err)
+	}
+	dirTableEnd := int64(binary.LittleEndian.Uint64(idx[:]))
+	if dirTableEnd < super.dirTableStart || dirTableEnd > super.bytesUsed {
+		return nil, fmt.Errorf("imgfmt: id table block offset %d outside image", dirTableEnd)
+	}
+	inodes, err := loadMetaTable(r, super.inodeTableStart, super.dirTableStart)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loadMetaTable(r, super.dirTableStart, dirTableEnd)
+	if err != nil {
+		return nil, err
+	}
+	return &sqReader{r: r, super: super, inodes: inodes, dirs: dirs}, nil
+}
+
+// extractDir recreates one directory's subtree under path.
+func (q *sqReader) extractDir(ino *sqInode, path string, copyBuf []byte) error {
+	if ino.listSize < 3 {
+		return fmt.Errorf("imgfmt: directory inode %d has listing size %d", ino.inodeNumber, ino.listSize)
+	}
+	listing, err := q.dirs.at(ino.listBlock, ino.listOffset)
+	if err != nil {
+		return err
+	}
+	remaining := ino.listSize - 3
+	if remaining > int64(len(listing)) {
+		return fmt.Errorf("imgfmt: directory inode %d listing overruns table", ino.inodeNumber)
+	}
+	listing = listing[:remaining]
+	le := binary.LittleEndian
+	for len(listing) > 0 {
+		if len(listing) < squashfsDirHeaderSize {
+			return fmt.Errorf("imgfmt: truncated directory header in inode %d: %w", ino.inodeNumber, fsimage.ErrManifestIntegrity)
+		}
+		count := int(le.Uint32(listing[0:])) + 1
+		startBlock := le.Uint32(listing[4:])
+		baseInode := le.Uint32(listing[8:])
+		listing = listing[squashfsDirHeaderSize:]
+		for e := 0; e < count; e++ {
+			if len(listing) < squashfsDirEntrySize {
+				return fmt.Errorf("imgfmt: truncated directory entry in inode %d: %w", ino.inodeNumber, fsimage.ErrManifestIntegrity)
+			}
+			off := le.Uint16(listing[0:])
+			delta := int16(le.Uint16(listing[2:]))
+			etype := le.Uint16(listing[4:])
+			nameLen := int(le.Uint16(listing[6:])) + 1
+			listing = listing[squashfsDirEntrySize:]
+			if len(listing) < nameLen {
+				return fmt.Errorf("imgfmt: truncated entry name in inode %d: %w", ino.inodeNumber, fsimage.ErrManifestIntegrity)
+			}
+			name := string(listing[:nameLen])
+			listing = listing[nameLen:]
+			child, err := q.inodes.inodeAt(startBlock, off)
+			if err != nil {
+				return err
+			}
+			if want := uint32(int64(baseInode) + int64(delta)); child.inodeNumber != want {
+				return fmt.Errorf("imgfmt: entry %q resolves to inode %d, listing says %d", name, child.inodeNumber, want)
+			}
+			childPath := filepath.Join(path, name)
+			switch etype {
+			case squashfsTypeDir:
+				if child.typ != squashfsTypeExtDir {
+					return fmt.Errorf("imgfmt: entry %q typed dir but inode is %d", name, child.typ)
+				}
+				if err := os.Mkdir(childPath, child.mode); err != nil {
+					return fmt.Errorf("imgfmt: extracting %q: %w", childPath, err)
+				}
+				if err := q.extractDir(child, childPath, copyBuf); err != nil {
+					return err
+				}
+			case squashfsTypeReg:
+				if child.typ != squashfsTypeExtReg {
+					return fmt.Errorf("imgfmt: entry %q typed file but inode is %d", name, child.typ)
+				}
+				out, err := os.OpenFile(childPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, child.mode)
+				if err != nil {
+					return fmt.Errorf("imgfmt: extracting %q: %w", childPath, err)
+				}
+				src := io.NewSectionReader(q.r, child.dataStart, child.size)
+				if _, err := io.CopyBuffer(out, src, copyBuf); err != nil {
+					out.Close()
+					return fmt.Errorf("imgfmt: extracting %q: %w", childPath, err)
+				}
+				if err := out.Close(); err != nil {
+					return fmt.Errorf("imgfmt: extracting %q: %w", childPath, err)
+				}
+			default:
+				return fmt.Errorf("imgfmt: entry %q has unsupported type %d", name, etype)
+			}
+		}
+	}
+	return nil
+}
+
+// ExtractSquashfs walks a squashfs image written by SquashfsSink and
+// recreates its file tree under dest (which must already exist). It is the
+// in-repo stand-in for `mount -o loop`: tests compare the extracted tree
+// against a VFS-materialized run byte for byte. It rejects images the sink
+// cannot have produced (compressed blocks, fragments, basic inodes).
+func ExtractSquashfs(r io.ReaderAt, dest string) error {
+	q, err := openSquashfs(r)
+	if err != nil {
+		return err
+	}
+	rootBlock := uint32(q.super.rootInode >> 16)
+	rootOff := uint16(q.super.rootInode & 0xFFFF)
+	root, err := q.inodes.inodeAt(rootBlock, rootOff)
+	if err != nil {
+		return err
+	}
+	if root.typ != squashfsTypeExtDir {
+		return fmt.Errorf("imgfmt: root inode has type %d, want directory", root.typ)
+	}
+	return q.extractDir(root, dest, make([]byte, 64*1024))
+}

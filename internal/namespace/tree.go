@@ -376,26 +376,41 @@ func (t *Tree) DirsAtDepth(depth int) []int {
 // O(depth) with a single allocation (the old implementation re-concatenated
 // the prefix per component: O(depth²) bytes copied).
 func (t *Tree) Path(id int) string {
+	return string(t.AppendPath(nil, id))
+}
+
+// AppendPath appends the directory's slash-separated path (relative to the
+// tree root; nothing for the root itself) to dst and returns the extended
+// slice. It is the allocation-free form of Path for hot loops that build
+// many paths into one reused buffer — the VFS materializer and the archive
+// sinks both format every entry's path this way.
+func (t *Tree) AppendPath(dst []byte, id int) []byte {
 	if id <= 0 {
-		return ""
+		return dst
 	}
 	n := 0
 	for cur := id; cur > 0; cur = t.Dirs[cur].Parent {
 		n += len(t.Dirs[cur].Name) + 1
 	}
 	n-- // no separator before the first component
-	out := make([]byte, n)
-	pos := n
+	base := len(dst)
+	if cap(dst) < base+n {
+		grown := make([]byte, base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+n]
+	pos := base + n
 	for cur := id; cur > 0; cur = t.Dirs[cur].Parent {
 		name := t.Dirs[cur].Name
 		pos -= len(name)
-		copy(out[pos:], name)
-		if pos > 0 {
+		copy(dst[pos:], name)
+		if pos > base {
 			pos--
-			out[pos] = '/'
+			dst[pos] = '/'
 		}
 	}
-	return string(out)
+	return dst
 }
 
 // MarkSpecial marks one directory at each special entry's depth as special

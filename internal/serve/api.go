@@ -19,6 +19,10 @@ const (
 	// in-flight request built it), or "bypass" (built but evicted before it
 	// could be re-read; streamed directly).
 	HeaderCache = "X-Impressions-Cache"
+	// HeaderImageDigest carries the canonical image digest as an HTTP
+	// trailer on GET /v1/runs/{id}/image.tar responses — the archive
+	// streams before the digest is known, so it travels behind the body.
+	HeaderImageDigest = "X-Impressions-Image-Digest"
 )
 
 // PlanRequest asks for the plan of an image spec, partitioned for
@@ -62,6 +66,7 @@ type Stats struct {
 	CoalescedBuilds int64   `json:"coalesced_builds"`
 	ShardsServed    int64   `json:"shards_served"`
 	InlineGenerates int64   `json:"inline_generates"`
+	ImagesServed    int64   `json:"images_served"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 }
 

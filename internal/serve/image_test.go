@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"archive/tar"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"impressions/internal/fleet"
+)
+
+// TestRunImageTar: a completed run's image endpoint streams a well-formed
+// tar whose trailer digest equals both the run's merged digest and the
+// single-process canonical digest.
+func TestRunImageTar(t *testing.T) {
+	fo := fleetTestOptions()
+	// No workers join: the daemon's inline executor completes the shards.
+	fo.InlineGrace = time.Millisecond
+	_, c := newFleetServer(t, fo)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	spec := testSpec(9001)
+	st, err := c.PostRun(ctx, PlanRequest{Spec: spec, Shards: 3})
+	if err != nil {
+		t.Fatalf("PostRun: %v", err)
+	}
+	st, err = c.WaitRun(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitRun: %v", err)
+	}
+	if st.State != fleet.RunComplete {
+		t.Fatalf("run state %s, want complete (%s)", st.State, st.Error)
+	}
+
+	resp, err := c.HTTP.Get(c.Base + "/v1/runs/" + st.ID + "/image.tar")
+	if err != nil {
+		t.Fatalf("GET image.tar: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET image.tar: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-tar" {
+		t.Errorf("Content-Type %q, want application/x-tar", ct)
+	}
+	entries := 0
+	tr := tar.NewReader(resp.Body)
+	for {
+		_, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tar.Next after %d entries: %v", entries, err)
+		}
+		if _, err := io.Copy(io.Discard, tr); err != nil {
+			t.Fatalf("reading entry %d: %v", entries, err)
+		}
+		entries++
+	}
+	// Drain past the archive trailer so the HTTP trailer becomes visible.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatalf("draining body: %v", err)
+	}
+	if entries == 0 {
+		t.Fatal("image.tar carried no entries")
+	}
+	digest := resp.Trailer.Get(HeaderImageDigest)
+	if digest == "" {
+		t.Fatal("no image digest trailer")
+	}
+	if digest != st.Digest {
+		t.Errorf("trailer digest %s, run digest %s", digest, st.Digest)
+	}
+	if ref := fleetReferenceDigest(t, spec); digest != ref {
+		t.Errorf("trailer digest %s, single-process reference %s", digest, ref)
+	}
+}
+
+// TestRunImageTarNotComplete: asking for the image of a still-running run
+// is a 409, not a truncated archive.
+func TestRunImageTarNotComplete(t *testing.T) {
+	// Inline fallback disabled and no workers: the run stays running.
+	_, c := newFleetServer(t, fleetTestOptions())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	st, err := c.PostRun(ctx, PlanRequest{Spec: testSpec(9002), Shards: 2})
+	if err != nil {
+		t.Fatalf("PostRun: %v", err)
+	}
+	resp, err := c.HTTP.Get(c.Base + "/v1/runs/" + st.ID + "/image.tar")
+	if err != nil {
+		t.Fatalf("GET image.tar: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("running run image: status %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+}

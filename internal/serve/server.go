@@ -101,6 +101,7 @@ type Server struct {
 	coalescedBuilds atomic.Int64
 	shardsServed    atomic.Int64
 	inlineGenerates atomic.Int64
+	imagesServed    atomic.Int64
 }
 
 // New returns a ready-to-serve Server.
@@ -121,6 +122,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/runs", s.handlePostRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}/image.tar", s.handleGetRunImage)
 	s.mux.HandleFunc("GET /v1/fleet/stats", s.handleFleetStats)
 	s.mux.HandleFunc("POST /v1/fleet/workers", s.handleRegisterWorker)
 	s.mux.HandleFunc("POST /v1/fleet/workers/{id}/heartbeat", s.handleHeartbeat)
@@ -160,6 +162,7 @@ func (s *Server) Stats() Stats {
 		CoalescedBuilds: s.coalescedBuilds.Load(),
 		ShardsServed:    s.shardsServed.Load(),
 		InlineGenerates: s.inlineGenerates.Load(),
+		ImagesServed:    s.imagesServed.Load(),
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 	}
 }
@@ -228,7 +231,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, fleet.ErrUnknownRun), errors.Is(err, fleet.ErrUnknownWorker):
 		status = http.StatusNotFound
-	case errors.Is(err, fleet.ErrLeaseInvalid):
+	case errors.Is(err, fleet.ErrLeaseInvalid), errors.Is(err, ErrRunNotComplete):
 		status = http.StatusConflict
 	case errors.Is(err, fleet.ErrManifestRejected):
 		status = http.StatusUnprocessableEntity
